@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures through the
+experiment harness.  A single workspace (dataset, trained zoo subset, MAC,
+aging libraries) is shared across the whole benchmark session; trained
+models are additionally cached on disk so repeated benchmark runs skip
+training.
+
+The benchmark profile is intentionally smaller than the paper's setup (see
+EXPERIMENTS.md): fewer networks, a reduced test split and smaller
+Monte-Carlo sample counts.  Pass ``--benchmark-profile=full`` to use the
+full zoo and larger sample counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.settings import ExperimentSettings
+from repro.experiments.workspace import ExperimentWorkspace
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--benchmark-profile",
+        action="store",
+        default="fast",
+        choices=("fast", "full"),
+        help="experiment settings profile used by the benchmarks",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_settings(request) -> ExperimentSettings:
+    profile = request.config.getoption("--benchmark-profile")
+    if profile == "full":
+        return ExperimentSettings.full()
+    return ExperimentSettings.fast(
+        # Keep the NN-side studies tractable for a laptop benchmark run while
+        # still covering every aging level and every quantization method.
+        table1_networks=("resnet50", "vgg16", "squeezenet"),
+        test_subset=150,
+        training_epochs=10,
+        error_samples=300,
+        fault_repetitions=2,
+        energy_transitions=250,
+        max_alpha=5,
+        max_beta=5,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_workspace(bench_settings) -> ExperimentWorkspace:
+    return ExperimentWorkspace.create(bench_settings)

@@ -1,0 +1,47 @@
+"""Benchmarks for the paper's two side studies.
+
+* Section VI-B: the Pearson correlation between the √(α²+β²) surrogate
+  ranking and the measured accuracy-loss ranking (paper: 0.84 on average).
+* Section VII: precision scaling (LSB masking) without retraining performs
+  far worse than reliability-aware quantization at the same compression.
+"""
+
+from repro.experiments.ablation_precision_scaling import run_precision_scaling_ablation
+from repro.experiments.ablation_surrogate import run_surrogate_ablation
+
+
+def test_bench_surrogate_ablation(benchmark, bench_workspace):
+    result = benchmark.pedantic(
+        run_surrogate_ablation, kwargs={"workspace": bench_workspace}, rounds=1, iterations=1
+    )
+    print()
+    print(result.to_table())
+
+    correlations = result.column_values("pearson_correlation")
+    # The surrogate must rank compressions meaningfully (clear positive
+    # correlation with the measured accuracy loss on average; individual
+    # (network, method) pairs are noisier on the reduced test split).
+    assert result.metadata["mean_correlation"] > 0.35
+    assert max(correlations) > 0.5
+    benchmark.extra_info["mean_correlation"] = result.metadata["mean_correlation"]
+
+
+def test_bench_precision_scaling_ablation(benchmark, bench_workspace):
+    result = benchmark.pedantic(
+        run_precision_scaling_ablation,
+        kwargs={"workspace": bench_workspace, "delta_vth_mv": 50.0},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_table())
+
+    ours = result.column_values("ours_accuracy_loss_percent")
+    masking = result.column_values("lsb_masking_accuracy_loss_percent")
+    # LSB masking (no recalibration, no retraining) loses more accuracy than
+    # reliability-aware quantization for every examined network.
+    for ours_loss, masking_loss in zip(ours, masking):
+        assert masking_loss >= ours_loss - 0.5
+    assert max(masking) > min(ours)
+    benchmark.extra_info["ours_loss"] = ours
+    benchmark.extra_info["masking_loss"] = masking

@@ -1,0 +1,78 @@
+"""Micro-benchmarks of the individual substrates.
+
+These do not map to a paper figure; they track the throughput of the
+building blocks the experiment harness leans on (STA, event-driven timed
+simulation, quantized integer inference), which is useful when tuning the
+reproduction or porting it to larger circuits/models.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.mac import build_mac
+from repro.circuits.simulator import TimingSimulator
+from repro.core.padding import Padding, mac_case_analysis
+from repro.nn.quantized import QuantizedModel
+from repro.quantization.registry import get_method
+from repro.timing.sta import StaticTimingAnalyzer
+
+
+@pytest.fixture(scope="module")
+def mac_unit():
+    return build_mac()
+
+
+def test_bench_sta_uncompressed(benchmark, bench_workspace, mac_unit):
+    analyzer = StaticTimingAnalyzer(mac_unit, bench_workspace.library_set.fresh)
+    delay = benchmark(analyzer.critical_path_delay)
+    assert delay > 0
+
+
+def test_bench_sta_with_case_analysis(benchmark, bench_workspace, mac_unit):
+    analyzer = StaticTimingAnalyzer(mac_unit, bench_workspace.library_set.library(50.0))
+    case = mac_case_analysis(3, 4, Padding.LSB)
+    delay = benchmark(analyzer.critical_path_delay, case)
+    assert delay > 0
+
+
+def test_bench_event_driven_timed_simulation(benchmark, bench_workspace, mac_unit):
+    simulator = TimingSimulator(mac_unit.netlist, bench_workspace.library_set.library(50.0))
+    rng = np.random.default_rng(0)
+
+    def one_transition():
+        previous = {
+            "a": int(rng.integers(0, 256)),
+            "b": int(rng.integers(0, 256)),
+            "c": int(rng.integers(0, 1 << 22)),
+        }
+        current = {
+            "a": int(rng.integers(0, 256)),
+            "b": int(rng.integers(0, 256)),
+            "c": int(rng.integers(0, 1 << 22)),
+        }
+        return simulator.propagate(previous, current)
+
+    evaluation = benchmark(one_transition)
+    assert evaluation.final_outputs["out"] >= 0
+
+
+def test_bench_quantized_inference(benchmark, bench_workspace):
+    pretrained = bench_workspace.model(bench_workspace.settings.table1_networks[0])
+    quantized = QuantizedModel.build(
+        pretrained.model,
+        get_method("M4"),
+        activation_bits=6,
+        weight_bits=6,
+        calibration_data=bench_workspace.calibration,
+    )
+    batch = bench_workspace.test_inputs[:64]
+
+    predictions = benchmark(quantized.predict, batch)
+    assert predictions.shape == (batch.shape[0],)
+
+
+def test_bench_fp32_inference(benchmark, bench_workspace):
+    pretrained = bench_workspace.model(bench_workspace.settings.table1_networks[0])
+    batch = bench_workspace.test_inputs[:64]
+    predictions = benchmark(pretrained.model.predict, batch)
+    assert predictions.shape == (batch.shape[0],)

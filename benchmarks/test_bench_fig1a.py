@@ -1,0 +1,22 @@
+"""Benchmark regenerating Fig. 1a (aged multiplier error characterisation)."""
+
+from repro.experiments.fig1a_multiplier_errors import run_fig1a
+
+
+def test_bench_fig1a(benchmark, bench_workspace):
+    result = benchmark.pedantic(
+        run_fig1a, kwargs={"workspace": bench_workspace}, rounds=1, iterations=1
+    )
+    print()
+    print(result.to_table(float_format=".5f"))
+
+    levels = result.column_values("delta_vth_mv")
+    med = result.column_values("mean_error_distance")
+    msb = result.column_values("msb_flip_probability")
+    # Fresh circuit is error free; errors appear and grow as the circuit ages.
+    assert med[0] == 0.0 and msb[0] == 0.0
+    assert med[-1] > 0.0
+    assert msb[-1] >= msb[0]
+    assert levels == sorted(levels)
+    benchmark.extra_info["end_of_life_med"] = med[-1]
+    benchmark.extra_info["end_of_life_msb_flip_probability"] = msb[-1]

@@ -1,0 +1,30 @@
+"""Benchmark regenerating Fig. 1b (accuracy under MSB bit-flip injection)."""
+
+import numpy as np
+
+from repro.experiments.fig1b_error_injection import run_fig1b
+
+
+def test_bench_fig1b(benchmark, bench_workspace):
+    result = benchmark.pedantic(
+        run_fig1b, kwargs={"workspace": bench_workspace}, rounds=1, iterations=1
+    )
+    print()
+    print(result.to_table(float_format=".4f"))
+
+    networks = sorted(set(result.column_values("network")))
+    assert len(networks) == 3
+    # For every network, accuracy at the largest flip probability collapses
+    # relative to the smallest one (the paper's "unacceptable beyond ~5e-4").
+    rows = result.rows
+    for network in networks:
+        series = sorted(
+            [(row[1], row[3]) for row in rows if row[0] == network], key=lambda item: item[0]
+        )
+        normalized = [value for _, value in series]
+        assert normalized[-1] < 0.8
+        assert normalized[0] > normalized[-1]
+    benchmark.extra_info["networks"] = networks
+    benchmark.extra_info["worst_normalized_accuracy"] = float(
+        np.min(result.column_values("normalized_accuracy"))
+    )

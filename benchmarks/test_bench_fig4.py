@@ -1,0 +1,46 @@
+"""Benchmarks regenerating Fig. 4a (delay trajectories) and Fig. 4b (accuracy)."""
+
+import pytest
+
+from repro.experiments.fig4_delay_accuracy import run_fig4a, run_fig4b
+from repro.experiments.table1_accuracy import run_table1
+
+
+def test_bench_fig4a(benchmark, bench_workspace):
+    result = benchmark.pedantic(
+        run_fig4a, kwargs={"workspace": bench_workspace}, rounds=1, iterations=1
+    )
+    print()
+    print(result.to_table())
+
+    baseline = result.column_values("baseline_normalized_delay")
+    ours = result.column_values("ours_normalized_delay")
+    assert baseline[0] == pytest.approx(1.0)
+    assert baseline[-1] == pytest.approx(1.23, abs=0.02)
+    assert all(value <= 1.0 + 1e-9 for value in ours)
+    assert result.metadata["guardband_percent"] == pytest.approx(23.0, abs=1.5)
+    benchmark.extra_info["guardband_percent"] = result.metadata["guardband_percent"]
+
+
+def test_bench_fig4b(benchmark, bench_workspace):
+    table1 = run_table1(workspace=bench_workspace)
+    result = benchmark.pedantic(
+        run_fig4b,
+        kwargs={"workspace": bench_workspace, "table1": table1},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_table())
+
+    levels = result.column_values("delta_vth_mv")
+    means = result.column_values("mean")
+    maxima = result.column_values("max")
+    assert levels == sorted(levels)
+    # Graceful degradation: bounded loss, with the late-life levels at or
+    # above the early-life ones.
+    assert all(value < 25.0 for value in means)
+    assert means[-1] >= means[0] - 0.5
+    assert all(q75 >= q25 for q75, q25 in zip(result.column_values("q75"), result.column_values("q25")))
+    benchmark.extra_info["mean_loss_per_level"] = dict(zip(levels, [round(m, 3) for m in means]))
+    benchmark.extra_info["max_loss"] = max(maxima)

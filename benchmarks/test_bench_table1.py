@@ -1,0 +1,33 @@
+"""Benchmark regenerating Table 1 (accuracy loss / method per network & level).
+
+This is the heaviest benchmark: it trains (or loads from cache) the zoo
+subset, then runs the full Algorithm 1 method search for every network at
+every aging level.
+"""
+
+from repro.experiments.table1_accuracy import run_table1
+
+
+def test_bench_table1(benchmark, bench_workspace):
+    result = benchmark.pedantic(
+        run_table1, kwargs={"workspace": bench_workspace}, rounds=1, iterations=1
+    )
+    print()
+    print(result.to_table())
+
+    average_losses = result.metadata["average_loss_per_level"]
+    levels = sorted(average_losses)
+    # Graceful degradation: the average loss stays moderate at every level and
+    # the end-of-life average is the largest (or close to it).
+    assert all(average_losses[level] < 25.0 for level in levels)
+    assert average_losses[levels[-1]] >= average_losses[levels[0]] - 1.5
+    # Every selected method comes from the library.
+    assert set(result.column_values("selected_method")) <= {"M1", "M2", "M3", "M4", "M5"}
+    # The quantized NPU never collapses to chance accuracy (10 classes).
+    assert min(result.column_values("quantized_accuracy")) > 0.2
+    benchmark.extra_info["average_loss_per_level"] = {
+        f"{level:g}mV": round(average_losses[level], 3) for level in levels
+    }
+    benchmark.extra_info["paper_average_loss_per_level"] = result.metadata[
+        "paper_average_loss_per_level"
+    ]

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Quickstart: aging-aware quantization of one network at one aging level.
+
+This walks the public API end to end:
+
+1. build the paper's MAC unit (8-bit multiplier + 22-bit adder) and the
+   aging-aware cell libraries,
+2. ask Algorithm 1 for the minimal (α, β) input compression that lets the
+   *aged* MAC meet the *fresh* clock (i.e. zero guardband),
+3. train a small network on the synthetic dataset and quantize it with the
+   best method from the library at that compression,
+4. report the delay and accuracy outcome.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    AgingAwareQuantizer,
+    AgingAwareLibrarySet,
+    SGDTrainer,
+    SyntheticImageDataset,
+    build_mac,
+    build_model,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------ device level
+    mac = build_mac()  # 8x8 multiplier + 22-bit accumulator adder (Edge-TPU style PE)
+    libraries = AgingAwareLibrarySet.generate()  # ΔVth = 0..50 mV cell libraries
+    print(f"MAC unit: {mac.description} ({mac.gate_count} cells)")
+
+    quantizer = AgingAwareQuantizer(mac=mac, library_set=libraries, max_alpha=4, max_beta=4)
+    aging_level_mv = 50.0  # end of the 10-year projected lifetime
+    timing = quantizer.select_compression(aging_level_mv)
+    print(
+        f"ΔVth = {aging_level_mv:g} mV -> compression {timing.choice.label()}, "
+        f"aged compressed delay = {timing.normalized_delay:.3f} x fresh clock "
+        f"(slack {timing.slack_ps:.1f} ps)"
+    )
+
+    # ------------------------------------------------------------ system level
+    print("\nTraining a small network on the synthetic dataset ...")
+    dataset = SyntheticImageDataset.generate(train_per_class=80, test_per_class=30, seed=0)
+    model = build_model("resnet50", num_classes=dataset.num_classes, image_size=dataset.image_size, rng=0)
+    SGDTrainer(epochs=8).fit(model, dataset.x_train, dataset.y_train, rng=0)
+    fp32_accuracy = model.accuracy(dataset.x_test, dataset.y_test)
+    print(f"FP32 accuracy: {fp32_accuracy:.3f}")
+
+    result = quantizer.run(
+        model,
+        aging_level_mv,
+        calibration_data=dataset.calibration_split(48),
+        x_test=dataset.x_test,
+        y_test=dataset.y_test,
+    )
+    print(
+        f"\nAging-aware quantization at ΔVth = {aging_level_mv:g} mV:\n"
+        f"  compression        : {result.compression.label()} "
+        f"(activations {result.compression.activation_bits()} bits, "
+        f"weights {result.compression.weight_bits()} bits)\n"
+        f"  selected method    : {result.selected_method}\n"
+        f"  quantized accuracy : {result.evaluation.quantized_accuracy:.3f}\n"
+        f"  accuracy loss      : {result.accuracy_loss_percent:.2f} %\n"
+        f"  per-method losses  : "
+        + ", ".join(
+            f"{key}={entry.accuracy_loss_percent:.2f}%" for key, entry in sorted(result.per_method.items())
+        )
+    )
+    print(
+        "\nThe aged NPU keeps running at the fresh clock with no timing errors —"
+        " the only cost is the quantization loss above."
+    )
+
+
+if __name__ == "__main__":
+    main()

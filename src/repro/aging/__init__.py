@@ -1,0 +1,34 @@
+"""Transistor-aging substrate.
+
+This package replaces the paper's device-level tooling (physics-based BTI
+model [20], SPICE characterisation with Synopsys SiliconSmart, and the
+Intel-14nm-calibrated BSIM-CMG compact model) with analytic models that are
+calibrated to the same end-of-life anchor points the paper reports:
+
+* ΔVth reaches 50 mV after the 10-year projected lifetime,
+* a ΔVth of 50 mV slows the MAC critical path by ~23 %.
+
+The downstream flow (STA, error characterisation, Algorithm 1) only consumes
+the aging substrate through two interfaces: the ΔVth(t) trajectory and the
+per-ΔVth cell libraries, both of which are provided here.
+"""
+
+from repro.aging.bti import BTIModel, AgingScenario, STANDARD_DELTA_VTH_LEVELS_MV
+from repro.aging.delay_model import AlphaPowerDelayModel
+from repro.aging.cell_library import (
+    AgingAwareLibrarySet,
+    CellLibrary,
+    CellSpec,
+    fresh_library,
+)
+
+__all__ = [
+    "BTIModel",
+    "AgingScenario",
+    "STANDARD_DELTA_VTH_LEVELS_MV",
+    "AlphaPowerDelayModel",
+    "AgingAwareLibrarySet",
+    "CellLibrary",
+    "CellSpec",
+    "fresh_library",
+]

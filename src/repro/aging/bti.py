@@ -1,0 +1,165 @@
+"""Bias Temperature Instability (BTI) kinetics.
+
+The paper relies on the physics-based BTI analysis tool of Parihar et al.
+(TED 2018) to translate stress time into a threshold-voltage shift ΔVth for
+the Intel 14nm FinFET technology, and anchors the projected lifetime at
+ΔVth = 50 mV after 10 years of operation.
+
+We model the DC-stress kinetics with the standard power-law form used by
+reaction-diffusion and two-stage BTI models::
+
+    ΔVth(t) = A * D^m * exp(-Ea / (k * T)) * t^n
+
+where ``t`` is the stress time, ``D`` the duty cycle (fraction of time the
+transistor is under stress), ``T`` the operating temperature and ``n`` the
+time exponent (~1/6 for NBTI).  The prefactor ``A`` is calibrated so that the
+reference operating condition (continuous stress at 85 °C, matching the very
+high MAC utilisation inside an NPU) reproduces the paper's end-of-life
+anchor, ΔVth(10 years) = 50 mV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: ΔVth levels (mV) examined throughout the paper: fresh to 10-year EOL in
+#: 10 mV steps (Table 1, Table 2, Figs. 4 and 5).
+STANDARD_DELTA_VTH_LEVELS_MV: tuple[float, ...] = (0.0, 10.0, 20.0, 30.0, 40.0, 50.0)
+
+_BOLTZMANN_EV = 8.617333262e-5
+_HOURS_PER_YEAR = 24.0 * 365.25
+
+
+@dataclass
+class BTIModel:
+    """Power-law BTI aging kinetics calibrated to the paper's EOL anchor.
+
+    Attributes:
+        time_exponent: power-law exponent ``n`` (dimensionless), ~1/6 for NBTI.
+        duty_exponent: duty-cycle exponent ``m``.
+        activation_energy_ev: Arrhenius activation energy ``Ea`` in eV.
+        reference_temperature_k: temperature at which the model is calibrated.
+        reference_duty_cycle: duty cycle at which the model is calibrated.
+        eol_years: projected lifetime used for calibration (10 years).
+        eol_delta_vth_mv: ΔVth reached at ``eol_years`` under the reference
+            conditions (50 mV, from FinFET measurements cited by the paper).
+    """
+
+    time_exponent: float = 1.0 / 6.0
+    duty_exponent: float = 0.5
+    activation_energy_ev: float = 0.06
+    reference_temperature_k: float = 358.15
+    reference_duty_cycle: float = 1.0
+    eol_years: float = 10.0
+    eol_delta_vth_mv: float = 50.0
+    _prefactor_mv: float = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.eol_years <= 0:
+            raise ValueError("eol_years must be positive")
+        if self.eol_delta_vth_mv <= 0:
+            raise ValueError("eol_delta_vth_mv must be positive")
+        if not 0 < self.reference_duty_cycle <= 1:
+            raise ValueError("reference_duty_cycle must be in (0, 1]")
+        eol_hours = self.eol_years * _HOURS_PER_YEAR
+        base = (
+            self.reference_duty_cycle**self.duty_exponent
+            * np.exp(-self.activation_energy_ev / (_BOLTZMANN_EV * self.reference_temperature_k))
+            * eol_hours**self.time_exponent
+        )
+        self._prefactor_mv = self.eol_delta_vth_mv / base
+
+    def delta_vth_mv(
+        self,
+        years: float,
+        temperature_k: float | None = None,
+        duty_cycle: float | None = None,
+    ) -> float:
+        """ΔVth (mV) accumulated after ``years`` of operation.
+
+        Args:
+            years: operation time in years (0 means a fresh device).
+            temperature_k: operating temperature; defaults to the reference.
+            duty_cycle: stress duty cycle in (0, 1]; defaults to the reference.
+        """
+        if years < 0:
+            raise ValueError("years must be non-negative")
+        if years == 0:
+            return 0.0
+        temperature_k = self.reference_temperature_k if temperature_k is None else temperature_k
+        duty_cycle = self.reference_duty_cycle if duty_cycle is None else duty_cycle
+        if not 0 < duty_cycle <= 1:
+            raise ValueError("duty_cycle must be in (0, 1]")
+        if temperature_k <= 0:
+            raise ValueError("temperature_k must be positive")
+        hours = years * _HOURS_PER_YEAR
+        return float(
+            self._prefactor_mv
+            * duty_cycle**self.duty_exponent
+            * np.exp(-self.activation_energy_ev / (_BOLTZMANN_EV * temperature_k))
+            * hours**self.time_exponent
+        )
+
+    def years_for_delta_vth(
+        self,
+        delta_vth_mv: float,
+        temperature_k: float | None = None,
+        duty_cycle: float | None = None,
+    ) -> float:
+        """Inverse of :meth:`delta_vth_mv` under fixed operating conditions."""
+        if delta_vth_mv < 0:
+            raise ValueError("delta_vth_mv must be non-negative")
+        if delta_vth_mv == 0:
+            return 0.0
+        temperature_k = self.reference_temperature_k if temperature_k is None else temperature_k
+        duty_cycle = self.reference_duty_cycle if duty_cycle is None else duty_cycle
+        scale = (
+            self._prefactor_mv
+            * duty_cycle**self.duty_exponent
+            * np.exp(-self.activation_energy_ev / (_BOLTZMANN_EV * temperature_k))
+        )
+        hours = (delta_vth_mv / scale) ** (1.0 / self.time_exponent)
+        return float(hours / _HOURS_PER_YEAR)
+
+
+@dataclass(frozen=True)
+class AgingScenario:
+    """A sequence of aging levels at which the NPU is (re-)quantized.
+
+    The paper sweeps ΔVth from 0 (fresh) to 50 mV (10 years) in 10 mV steps.
+    A scenario couples those levels with the BTI model so experiments can
+    also report the corresponding calendar age.
+    """
+
+    levels_mv: tuple[float, ...] = STANDARD_DELTA_VTH_LEVELS_MV
+    bti_model: BTIModel = field(default_factory=BTIModel)
+
+    def __post_init__(self) -> None:
+        if not self.levels_mv:
+            raise ValueError("levels_mv must not be empty")
+        if any(level < 0 for level in self.levels_mv):
+            raise ValueError("aging levels must be non-negative")
+        if list(self.levels_mv) != sorted(self.levels_mv):
+            raise ValueError("aging levels must be sorted in increasing order")
+
+    @property
+    def fresh_level_mv(self) -> float:
+        return self.levels_mv[0]
+
+    @property
+    def end_of_life_mv(self) -> float:
+        return self.levels_mv[-1]
+
+    def aged_levels_mv(self) -> tuple[float, ...]:
+        """The non-fresh levels (ΔVth > 0), i.e. the columns of Table 1."""
+        return tuple(level for level in self.levels_mv if level > 0)
+
+    def years_at(self, level_mv: float) -> float:
+        """Calendar age (years) corresponding to a ΔVth level."""
+        return self.bti_model.years_for_delta_vth(level_mv)
+
+    def timeline(self) -> list[tuple[float, float]]:
+        """Return ``(delta_vth_mv, years)`` pairs for every level."""
+        return [(level, self.years_at(level)) for level in self.levels_mv]

@@ -1,0 +1,118 @@
+"""Parametric adder generators.
+
+These functions instantiate gate-level adders inside an existing
+:class:`~repro.circuits.netlist.Netlist`.  They are used both directly (the
+22-bit accumulator adder of the MAC unit) and as building blocks of the
+multiplier generators.
+
+All buses are LSB-first lists of nets.  Operands of different widths are
+allowed; the shorter one is implicitly zero-extended with the shared
+constant-0 net, which the STA constant-propagation pass later exploits for
+input compression.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.circuits.netlist import Net, Netlist
+
+
+def half_adder(netlist: Netlist, a: Net, b: Net) -> tuple[Net, Net]:
+    """Instantiate a half adder; returns ``(sum, carry)``."""
+    sum_net = netlist.add_gate("XOR2", (a, b))
+    carry_net = netlist.add_gate("AND2", (a, b))
+    return sum_net, carry_net
+
+
+def full_adder(netlist: Netlist, a: Net, b: Net, cin: Net) -> tuple[Net, Net]:
+    """Instantiate a full adder; returns ``(sum, carry)``.
+
+    Structure: two XORs for the sum, AND/AND/OR for the carry (the classic
+    9-gate-equivalent mapping onto 2-input cells).
+    """
+    axb = netlist.add_gate("XOR2", (a, b))
+    sum_net = netlist.add_gate("XOR2", (axb, cin))
+    carry_ab = netlist.add_gate("AND2", (a, b))
+    carry_cin = netlist.add_gate("AND2", (axb, cin))
+    carry = netlist.add_gate("OR2", (carry_ab, carry_cin))
+    return sum_net, carry
+
+
+def _zero_extend(netlist: Netlist, bus: Sequence[Net], width: int) -> list[Net]:
+    """Pad ``bus`` with constant-0 nets up to ``width`` bits."""
+    if len(bus) > width:
+        raise ValueError(f"bus of width {len(bus)} cannot be extended to {width}")
+    extended = list(bus)
+    zero = netlist.constant(0)
+    extended.extend(zero for _ in range(width - len(bus)))
+    return extended
+
+
+def ripple_carry_adder(
+    netlist: Netlist,
+    a: Sequence[Net],
+    b: Sequence[Net],
+    cin: Net | None = None,
+) -> tuple[list[Net], Net]:
+    """Instantiate a ripple-carry adder over ``a`` and ``b``.
+
+    Returns ``(sum_nets, carry_out)`` where ``sum_nets`` has
+    ``max(len(a), len(b))`` bits.
+    """
+    if not a or not b:
+        raise ValueError("adder operands must have at least one bit")
+    width = max(len(a), len(b))
+    a_ext = _zero_extend(netlist, a, width)
+    b_ext = _zero_extend(netlist, b, width)
+    carry = cin if cin is not None else netlist.constant(0)
+    sums: list[Net] = []
+    for bit in range(width):
+        sum_net, carry = full_adder(netlist, a_ext[bit], b_ext[bit], carry)
+        sums.append(sum_net)
+    return sums, carry
+
+
+def carry_select_adder(
+    netlist: Netlist,
+    a: Sequence[Net],
+    b: Sequence[Net],
+    block_size: int = 4,
+    cin: Net | None = None,
+) -> tuple[list[Net], Net]:
+    """Instantiate a carry-select adder (duplicated blocks + MUXes).
+
+    Faster than ripple-carry for wide operands at the cost of roughly twice
+    the area; used by the MAC builder when the ``adder="carry_select"``
+    architecture is requested and by the adder-architecture ablation.
+    """
+    if block_size < 1:
+        raise ValueError("block_size must be >= 1")
+    if not a or not b:
+        raise ValueError("adder operands must have at least one bit")
+    width = max(len(a), len(b))
+    a_ext = _zero_extend(netlist, a, width)
+    b_ext = _zero_extend(netlist, b, width)
+    carry = cin if cin is not None else netlist.constant(0)
+    sums: list[Net] = []
+    position = 0
+    first_block = True
+    while position < width:
+        block_width = min(block_size, width - position)
+        block_a = a_ext[position : position + block_width]
+        block_b = b_ext[position : position + block_width]
+        if first_block:
+            block_sums, carry = ripple_carry_adder(netlist, block_a, block_b, cin=carry)
+            sums.extend(block_sums)
+            first_block = False
+        else:
+            sums_c0, cout_c0 = ripple_carry_adder(netlist, block_a, block_b, cin=netlist.constant(0))
+            sums_c1, cout_c1 = ripple_carry_adder(netlist, block_a, block_b, cin=netlist.constant(1))
+            selected = [
+                netlist.add_gate("MUX2", (s0, s1, carry))
+                for s0, s1 in zip(sums_c0, sums_c1)
+            ]
+            carry = netlist.add_gate("MUX2", (cout_c0, cout_c1, carry))
+            sums.extend(selected)
+        position += block_width
+    return sums, carry

@@ -1,0 +1,111 @@
+"""Boolean semantics of the standard cells.
+
+Each entry maps a cell name (matching :mod:`repro.aging.cell_library`) to a
+function over 0/1 input values.  The functions are used by the zero-delay
+logic simulator, the timed simulator and the constant-propagation pass of
+the STA engine.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+
+def _inv(a: int) -> int:
+    return a ^ 1
+
+
+def _buf(a: int) -> int:
+    return a
+
+
+def _nand2(a: int, b: int) -> int:
+    return (a & b) ^ 1
+
+
+def _nor2(a: int, b: int) -> int:
+    return (a | b) ^ 1
+
+
+def _and2(a: int, b: int) -> int:
+    return a & b
+
+
+def _or2(a: int, b: int) -> int:
+    return a | b
+
+
+def _xor2(a: int, b: int) -> int:
+    return a ^ b
+
+
+def _xnor2(a: int, b: int) -> int:
+    return (a ^ b) ^ 1
+
+
+def _mux2(a: int, b: int, sel: int) -> int:
+    """2:1 multiplexer: output ``a`` when ``sel`` is 0, else ``b``."""
+    return b if sel else a
+
+
+def _aoi21(a: int, b: int, c: int) -> int:
+    """AND-OR-INVERT: ``not ((a and b) or c)``."""
+    return ((a & b) | c) ^ 1
+
+
+def _oai21(a: int, b: int, c: int) -> int:
+    """OR-AND-INVERT: ``not ((a or b) and c)``."""
+    return ((a | b) & c) ^ 1
+
+
+CELL_FUNCTIONS: dict[str, Callable[..., int]] = {
+    "INV": _inv,
+    "BUF": _buf,
+    "NAND2": _nand2,
+    "NOR2": _nor2,
+    "AND2": _and2,
+    "OR2": _or2,
+    "XOR2": _xor2,
+    "XNOR2": _xnor2,
+    "MUX2": _mux2,
+    "AOI21": _aoi21,
+    "OAI21": _oai21,
+}
+
+#: Number of input pins per cell, derived from the boolean functions.
+CELL_INPUT_COUNTS: dict[str, int] = {
+    "INV": 1,
+    "BUF": 1,
+    "NAND2": 2,
+    "NOR2": 2,
+    "AND2": 2,
+    "OR2": 2,
+    "XOR2": 2,
+    "XNOR2": 2,
+    "MUX2": 3,
+    "AOI21": 3,
+    "OAI21": 3,
+}
+
+
+def evaluate_cell(cell_name: str, inputs: Sequence[int]) -> int:
+    """Evaluate cell ``cell_name`` on 0/1 ``inputs``.
+
+    Raises:
+        KeyError: for an unknown cell.
+        ValueError: if the number of inputs does not match the cell, or an
+            input is not 0/1.
+    """
+    try:
+        func = CELL_FUNCTIONS[cell_name]
+        arity = CELL_INPUT_COUNTS[cell_name]
+    except KeyError:
+        raise KeyError(f"unknown cell {cell_name!r}") from None
+    if len(inputs) != arity:
+        raise ValueError(
+            f"cell {cell_name} expects {arity} inputs, got {len(inputs)}"
+        )
+    for value in inputs:
+        if value not in (0, 1):
+            raise ValueError(f"cell inputs must be 0/1, got {value!r}")
+    return func(*inputs)

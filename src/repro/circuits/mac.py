@@ -1,0 +1,185 @@
+"""Builders for the paper's driving circuits.
+
+The paper's driving circuit is a MAC unit made of an 8-bit unsigned
+multiplier and a 22-bit unsigned accumulator adder, modelled after the Edge
+TPU systolic-array processing element.  :func:`build_mac` assembles that
+circuit from the parametric generators in this package and wraps it in an
+:class:`ArithmeticUnit`, the object that the STA engine, the error model and
+Algorithm 1 operate on.
+
+Standalone multiplier and adder units (Fig. 1a characterises the multiplier
+alone) are available through :func:`build_multiplier` and :func:`build_adder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.adders import carry_select_adder, ripple_carry_adder
+from repro.circuits.multipliers import MULTIPLIER_ARCHITECTURES
+from repro.circuits.netlist import Netlist
+
+ADDER_ARCHITECTURES = {
+    "ripple": ripple_carry_adder,
+    "carry_select": carry_select_adder,
+}
+
+
+@dataclass
+class ArithmeticUnit:
+    """A netlist together with its arithmetic port description.
+
+    Attributes:
+        netlist: the gate-level implementation.
+        input_widths: width (bits) of each input bus, keyed by bus name.
+        output_widths: width (bits) of each output bus, keyed by bus name.
+        description: human-readable summary used in reports.
+    """
+
+    netlist: Netlist
+    input_widths: dict[str, int]
+    output_widths: dict[str, int]
+    description: str = ""
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.netlist.name
+
+    @property
+    def gate_count(self) -> int:
+        return self.netlist.gate_count
+
+    def compute(self, **inputs: int) -> dict[str, int]:
+        """Functionally evaluate the unit (zero-delay) on integer inputs."""
+        from repro.circuits.simulator import LogicSimulator
+
+        return LogicSimulator(self.netlist).evaluate(inputs)
+
+    def stats(self) -> dict[str, object]:
+        report = self.netlist.stats()
+        report["description"] = self.description
+        return report
+
+
+def build_multiplier(width: int = 8, architecture: str = "array", name: str | None = None) -> ArithmeticUnit:
+    """Build a ``width``×``width`` unsigned multiplier.
+
+    Args:
+        width: operand width in bits (the paper uses 8).
+        architecture: ``"array"`` or ``"wallace"``.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    try:
+        generator = MULTIPLIER_ARCHITECTURES[architecture]
+    except KeyError:
+        raise ValueError(
+            f"unknown multiplier architecture {architecture!r}; "
+            f"choose from {sorted(MULTIPLIER_ARCHITECTURES)}"
+        ) from None
+    netlist = Netlist(name or f"mult{width}_{architecture}")
+    a = netlist.add_input_bus("a", width)
+    b = netlist.add_input_bus("b", width)
+    product = generator(netlist, a, b)
+    netlist.add_output_bus("out", product)
+    netlist.validate()
+    return ArithmeticUnit(
+        netlist=netlist,
+        input_widths={"a": width, "b": width},
+        output_widths={"out": 2 * width},
+        description=f"{width}x{width} unsigned {architecture} multiplier",
+        metadata={"architecture": architecture, "width": width},
+    )
+
+
+def build_adder(width: int = 22, architecture: str = "ripple", name: str | None = None) -> ArithmeticUnit:
+    """Build a ``width``-bit unsigned adder (sum bus includes the carry out)."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    try:
+        generator = ADDER_ARCHITECTURES[architecture]
+    except KeyError:
+        raise ValueError(
+            f"unknown adder architecture {architecture!r}; "
+            f"choose from {sorted(ADDER_ARCHITECTURES)}"
+        ) from None
+    netlist = Netlist(name or f"add{width}_{architecture}")
+    a = netlist.add_input_bus("a", width)
+    b = netlist.add_input_bus("b", width)
+    sums, carry = generator(netlist, a, b)
+    netlist.add_output_bus("out", list(sums) + [carry])
+    netlist.validate()
+    return ArithmeticUnit(
+        netlist=netlist,
+        input_widths={"a": width, "b": width},
+        output_widths={"out": width + 1},
+        description=f"{width}-bit unsigned {architecture} adder",
+        metadata={"architecture": architecture, "width": width},
+    )
+
+
+def build_mac(
+    multiplier_width: int = 8,
+    accumulator_width: int = 22,
+    multiplier: str = "array",
+    adder: str = "ripple",
+    name: str | None = None,
+) -> ArithmeticUnit:
+    """Build the MAC unit ``out = a * b + c`` used as the paper's driving circuit.
+
+    Args:
+        multiplier_width: width of the ``a``/``b`` operands (paper: 8).
+        accumulator_width: width of the ``c`` accumulator input (paper: 22).
+        multiplier: multiplier architecture, ``"array"`` or ``"wallace"``.
+        adder: accumulator-adder architecture, ``"ripple"`` or ``"carry_select"``.
+
+    The output bus is ``accumulator_width + 1`` bits wide so the final carry
+    is observable; the NPU model accumulates in ``accumulator_width`` bits
+    exactly as the paper assumes.
+    """
+    if multiplier_width < 1 or accumulator_width < 1:
+        raise ValueError("widths must be >= 1")
+    if accumulator_width < 2 * multiplier_width:
+        raise ValueError(
+            "accumulator must be at least as wide as the product "
+            f"({2 * multiplier_width} bits) to avoid systematic overflow"
+        )
+    try:
+        multiplier_gen = MULTIPLIER_ARCHITECTURES[multiplier]
+    except KeyError:
+        raise ValueError(
+            f"unknown multiplier architecture {multiplier!r}; "
+            f"choose from {sorted(MULTIPLIER_ARCHITECTURES)}"
+        ) from None
+    try:
+        adder_gen = ADDER_ARCHITECTURES[adder]
+    except KeyError:
+        raise ValueError(
+            f"unknown adder architecture {adder!r}; "
+            f"choose from {sorted(ADDER_ARCHITECTURES)}"
+        ) from None
+
+    netlist = Netlist(name or f"mac{multiplier_width}x{multiplier_width}_{multiplier}_{adder}")
+    a = netlist.add_input_bus("a", multiplier_width)
+    b = netlist.add_input_bus("b", multiplier_width)
+    c = netlist.add_input_bus("c", accumulator_width)
+    product = multiplier_gen(netlist, a, b)
+    sums, carry = adder_gen(netlist, product, c)
+    netlist.add_output_bus("out", list(sums) + [carry])
+    netlist.validate()
+    return ArithmeticUnit(
+        netlist=netlist,
+        input_widths={"a": multiplier_width, "b": multiplier_width, "c": accumulator_width},
+        output_widths={"out": accumulator_width + 1},
+        description=(
+            f"MAC: {multiplier_width}x{multiplier_width} {multiplier} multiplier + "
+            f"{accumulator_width}-bit {adder} accumulator adder"
+        ),
+        metadata={
+            "multiplier_width": multiplier_width,
+            "accumulator_width": accumulator_width,
+            "multiplier": multiplier,
+            "adder": adder,
+        },
+    )

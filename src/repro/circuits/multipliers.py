@@ -1,0 +1,97 @@
+"""Parametric unsigned multiplier generators.
+
+Two architectures are provided:
+
+* :func:`array_multiplier` — row-by-row accumulation of the partial
+  products; the carry chain structure is the one the paper's input
+  compression exploits (zeroed operand bits remove entire partial-product
+  rows/columns and shorten the chain).
+* :func:`wallace_tree_multiplier` — column compression with full/half adders
+  followed by a final carry-propagate adder, closer to the optimised
+  DesignWare multipliers used in the paper's synthesis flow.
+
+Both return the full-width product bus (``len(a) + len(b)`` bits, LSB-first).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.circuits.adders import full_adder, half_adder, ripple_carry_adder
+from repro.circuits.netlist import Net, Netlist
+
+
+def _partial_products(netlist: Netlist, a: Sequence[Net], b: Sequence[Net]) -> list[list[Net]]:
+    """AND-gate partial products: ``pp[i][j] = a[j] & b[i]``."""
+    return [[netlist.add_gate("AND2", (a_bit, b_bit)) for a_bit in a] for b_bit in b]
+
+
+def array_multiplier(netlist: Netlist, a: Sequence[Net], b: Sequence[Net]) -> list[Net]:
+    """Instantiate an array-style multiplier; returns the product bus."""
+    if not a or not b:
+        raise ValueError("multiplier operands must have at least one bit")
+    pp = _partial_products(netlist, a, b)
+    # Running accumulator, LSB-first.  Start from row 0 (weight 0).
+    acc: list[Net] = list(pp[0])
+    for row_index in range(1, len(b)):
+        row = pp[row_index]
+        # Bits below the row weight are already final.
+        final_bits = acc[:row_index]
+        high_bits = acc[row_index:]
+        row_sum, carry = ripple_carry_adder(netlist, high_bits, row)
+        acc = final_bits + row_sum + [carry]
+    product_width = len(a) + len(b)
+    zero = netlist.constant(0)
+    while len(acc) < product_width:
+        acc.append(zero)
+    return acc[:product_width]
+
+
+def wallace_tree_multiplier(netlist: Netlist, a: Sequence[Net], b: Sequence[Net]) -> list[Net]:
+    """Instantiate a Wallace-tree multiplier; returns the product bus."""
+    if not a or not b:
+        raise ValueError("multiplier operands must have at least one bit")
+    product_width = len(a) + len(b)
+    # Bucket partial-product bits per output column (weight).
+    columns: list[list[Net]] = [[] for _ in range(product_width)]
+    for i, b_bit in enumerate(b):
+        for j, a_bit in enumerate(a):
+            columns[i + j].append(netlist.add_gate("AND2", (a_bit, b_bit)))
+
+    # Reduce every column to at most two bits using full/half adders.
+    while any(len(column) > 2 for column in columns):
+        next_columns: list[list[Net]] = [[] for _ in range(product_width + 1)]
+        for weight, column in enumerate(columns):
+            index = 0
+            while len(column) - index >= 3:
+                sum_net, carry = full_adder(
+                    netlist, column[index], column[index + 1], column[index + 2]
+                )
+                next_columns[weight].append(sum_net)
+                next_columns[weight + 1].append(carry)
+                index += 3
+            if len(column) - index == 2:
+                sum_net, carry = half_adder(netlist, column[index], column[index + 1])
+                next_columns[weight].append(sum_net)
+                next_columns[weight + 1].append(carry)
+                index += 2
+            elif len(column) - index == 1:
+                next_columns[weight].append(column[index])
+                index += 1
+        # Carries generated in the top column land at weight 2n; the product of
+        # two n-bit operands provably fits in 2n bits, so those bits are
+        # always 0 and the gates driving them are dropped from the result.
+        columns = [next_columns[w] for w in range(product_width)]
+
+    # Final carry-propagate addition over the two remaining rows.
+    zero = netlist.constant(0)
+    row_a = [column[0] if len(column) >= 1 else zero for column in columns]
+    row_b = [column[1] if len(column) >= 2 else zero for column in columns]
+    sums, _carry = ripple_carry_adder(netlist, row_a, row_b)
+    return sums[:product_width]
+
+
+MULTIPLIER_ARCHITECTURES = {
+    "array": array_multiplier,
+    "wallace": wallace_tree_multiplier,
+}

@@ -1,0 +1,274 @@
+"""Functional and timed simulation of netlists.
+
+Three simulators/models are provided:
+
+* :class:`LogicSimulator` — zero-delay functional evaluation, used for
+  correctness checks of the generated arithmetic circuits.
+* :class:`TimingSimulator` with the ``"event"`` arrival model (default) — a
+  transport-delay event-driven simulation of the transition between two
+  input vectors.  Every intermediate glitch is simulated, so the captured
+  value of an output bit at the clock edge is exactly what a flip-flop would
+  latch.  This is the engine behind the aged-multiplier error
+  characterisation (the paper's Fig. 1a).
+* Two analytic bounds, ``"settle"`` (pessimistic, glitch-aware upper bound on
+  settling time) and ``"transition"`` (optimistic, functional transitions
+  only), useful for quick envelope studies and for testing.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+from repro.aging.cell_library import CellLibrary
+from repro.circuits.constants import propagate_constants
+from repro.circuits.gates import CELL_FUNCTIONS
+from repro.circuits.netlist import Net, Netlist, bus_values_to_bits, bits_to_bus_values
+
+ARRIVAL_MODELS = ("event", "settle", "transition")
+
+
+class LogicSimulator:
+    """Zero-delay functional simulator for combinational netlists."""
+
+    def __init__(self, netlist: Netlist) -> None:
+        self.netlist = netlist
+        self._order = netlist.topological_gates()
+
+    def evaluate_bits(self, inputs: Mapping[str, int]) -> dict[Net, int]:
+        """Evaluate and return the value of every net (keyed by Net)."""
+        values = bus_values_to_bits(dict(inputs), self.netlist.input_buses)
+        for net in self.netlist.nets.values():
+            if net.is_constant:
+                values[net] = net.constant_value
+        for gate in self._order:
+            func = CELL_FUNCTIONS[gate.cell_name]
+            values[gate.output] = func(*(values[net] for net in gate.inputs))
+        return values
+
+    def evaluate(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        """Evaluate the netlist and return output bus values."""
+        values = self.evaluate_bits(inputs)
+        return bits_to_bus_values(values, self.netlist.output_buses)
+
+
+@dataclass
+class TimedEvaluation:
+    """Result of a two-vector timed simulation.
+
+    Attributes:
+        final_outputs: output bus values after all transitions settle
+            (i.e. the functionally correct result for the current inputs).
+        previous_outputs: settled output values of the previous input vector.
+        output_bit_timelines: per output bus, an LSB-first list holding, for
+            every bit, the chronological ``(time_ps, value)`` changes it goes
+            through during the transition (empty if the bit never moves).
+        output_arrivals_ps: per output bus, the LSB-first list of final
+            settling times of each bit (0.0 if the bit never moves).
+        worst_arrival_ps: the latest settling time over all output bits.
+    """
+
+    final_outputs: dict[str, int]
+    previous_outputs: dict[str, int]
+    output_bit_timelines: dict[str, list[list[tuple[float, int]]]]
+    output_arrivals_ps: dict[str, list[float]]
+    worst_arrival_ps: float
+
+    def captured_outputs(self, clock_period_ps: float) -> dict[str, int]:
+        """Output values captured by a flip-flop after ``clock_period_ps``.
+
+        Each bit takes the value it holds at the capture edge: the last change
+        at or before the edge wins; a bit with no change by then keeps the
+        stale value of the previous computation.
+        """
+        if clock_period_ps <= 0:
+            raise ValueError("clock_period_ps must be positive")
+        captured: dict[str, int] = {}
+        for bus, timelines in self.output_bit_timelines.items():
+            previous = self.previous_outputs[bus]
+            value = 0
+            for bit, changes in enumerate(timelines):
+                bit_value = (previous >> bit) & 1
+                for time_ps, new_value in changes:
+                    if time_ps > clock_period_ps:
+                        break
+                    bit_value = new_value
+                value |= (bit_value & 1) << bit
+            captured[bus] = value
+        return captured
+
+    def has_timing_violation(self, clock_period_ps: float) -> bool:
+        """Whether any output bit settles after the clock edge."""
+        return self.worst_arrival_ps > clock_period_ps
+
+
+class TimingSimulator:
+    """Two-vector timed simulation with aged cell delays.
+
+    The simulation assumes the previous input vector has fully settled when
+    the current vector is applied (single-cycle operation of the MAC unit).
+
+    Arrival models:
+
+    * ``"event"`` (default) — transport-delay event-driven simulation; every
+      glitch is tracked, and output timelines are exact under the per-gate
+      delay model.
+    * ``"settle"`` — pessimistic bound: a gate in the fanout cone of a
+      changed input settles only after all of its inputs have settled.
+    * ``"transition"`` — optimistic bound: only functional value changes
+      propagate delay.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        library: CellLibrary,
+        arrival_model: str = "event",
+    ) -> None:
+        if arrival_model not in ARRIVAL_MODELS:
+            raise ValueError(f"arrival_model must be one of {ARRIVAL_MODELS}")
+        self.netlist = netlist
+        self.library = library
+        self.arrival_model = arrival_model
+        self._order = netlist.topological_gates()
+        self._logic = LogicSimulator(netlist)
+        # Pre-compute per-gate delays: intrinsic + load-dependent (fanout).
+        self._gate_delay_ps = {
+            gate: library.delay_ps(gate.cell_name, fanout=gate.output.fanout)
+            for gate in self._order
+        }
+        # Nets forced to a constant by the structural zero-extension nets
+        # never transition and must not contribute arrival time (this keeps
+        # settle times bounded by the STA critical path).
+        self._structural_constants = propagate_constants(netlist)
+
+    # ------------------------------------------------------------------ public
+    def propagate(
+        self,
+        previous_inputs: Mapping[str, int],
+        current_inputs: Mapping[str, int],
+    ) -> TimedEvaluation:
+        """Simulate the transition from ``previous_inputs`` to ``current_inputs``."""
+        prev_values = self._logic.evaluate_bits(previous_inputs)
+        if self.arrival_model == "event":
+            curr_values, timelines = self._propagate_event(prev_values, current_inputs)
+        else:
+            curr_values, timelines = self._propagate_levelized(prev_values, current_inputs)
+        return self._build_evaluation(prev_values, curr_values, timelines)
+
+    # ----------------------------------------------------------- event-driven
+    def _propagate_event(
+        self,
+        prev_values: dict[Net, int],
+        current_inputs: Mapping[str, int],
+    ) -> tuple[dict[Net, int], dict[Net, list[tuple[float, int]]]]:
+        input_bits = bus_values_to_bits(dict(current_inputs), self.netlist.input_buses)
+        values = dict(prev_values)
+        timelines: dict[Net, list[tuple[float, int]]] = {}
+
+        # Event queue ordered by time; the sequence number keeps ordering
+        # stable for simultaneous events.
+        queue: list[tuple[float, int, Net, int]] = []
+        sequence = 0
+        for net, new_value in input_bits.items():
+            if new_value != prev_values[net]:
+                heapq.heappush(queue, (0.0, sequence, net, new_value))
+                sequence += 1
+
+        while queue:
+            time_ps, _, net, value = heapq.heappop(queue)
+            if values[net] == value:
+                continue
+            values[net] = value
+            timelines.setdefault(net, []).append((time_ps, value))
+            for gate in net.sinks:
+                new_output = CELL_FUNCTIONS[gate.cell_name](
+                    *(values[inp] for inp in gate.inputs)
+                )
+                heapq.heappush(
+                    queue,
+                    (time_ps + self._gate_delay_ps[gate], sequence, gate.output, new_output),
+                )
+                sequence += 1
+        return values, timelines
+
+    # -------------------------------------------------------------- levelized
+    def _propagate_levelized(
+        self,
+        prev_values: dict[Net, int],
+        current_inputs: Mapping[str, int],
+    ) -> tuple[dict[Net, int], dict[Net, list[tuple[float, int]]]]:
+        curr_values = bus_values_to_bits(dict(current_inputs), self.netlist.input_buses)
+        arrivals: dict[Net, float] = {}
+        perturbed: set[Net] = set()
+        structural = self._structural_constants
+        for net in self.netlist.nets.values():
+            if net.is_constant:
+                curr_values[net] = net.constant_value
+                arrivals[net] = 0.0
+            elif net.is_primary_input:
+                arrivals[net] = 0.0
+                if curr_values[net] != prev_values[net]:
+                    perturbed.add(net)
+        for gate in self._order:
+            func = CELL_FUNCTIONS[gate.cell_name]
+            new_value = func(*(curr_values[net] for net in gate.inputs))
+            curr_values[gate.output] = new_value
+            if gate.output in structural or not any(
+                net in perturbed for net in gate.inputs
+            ):
+                arrivals[gate.output] = 0.0
+                continue
+            perturbed.add(gate.output)
+            if self.arrival_model == "settle":
+                relevant = [
+                    arrivals[net] for net in gate.inputs if net not in structural
+                ]
+            else:  # "transition"
+                if new_value == prev_values[gate.output]:
+                    arrivals[gate.output] = 0.0
+                    continue
+                relevant = [
+                    arrivals[net]
+                    for net in gate.inputs
+                    if curr_values[net] != prev_values[net]
+                ]
+            arrivals[gate.output] = max(relevant, default=0.0) + self._gate_delay_ps[gate]
+
+        timelines: dict[Net, list[tuple[float, int]]] = {}
+        for net, value in curr_values.items():
+            if value != prev_values.get(net, value):
+                timelines[net] = [(arrivals.get(net, 0.0), value)]
+        return curr_values, timelines
+
+    # ----------------------------------------------------------------- result
+    def _build_evaluation(
+        self,
+        prev_values: dict[Net, int],
+        curr_values: dict[Net, int],
+        timelines: dict[Net, list[tuple[float, int]]],
+    ) -> TimedEvaluation:
+        final_outputs = bits_to_bus_values(curr_values, self.netlist.output_buses)
+        previous_outputs = bits_to_bus_values(prev_values, self.netlist.output_buses)
+        output_timelines: dict[str, list[list[tuple[float, int]]]] = {}
+        output_arrivals: dict[str, list[float]] = {}
+        worst = 0.0
+        for bus, nets in self.netlist.output_buses.items():
+            bus_timelines = []
+            bus_arrivals = []
+            for net in nets:
+                changes = timelines.get(net, [])
+                bus_timelines.append(changes)
+                arrival = changes[-1][0] if changes else 0.0
+                bus_arrivals.append(arrival)
+                worst = max(worst, arrival)
+            output_timelines[bus] = bus_timelines
+            output_arrivals[bus] = bus_arrivals
+        return TimedEvaluation(
+            final_outputs=final_outputs,
+            previous_outputs=previous_outputs,
+            output_bit_timelines=output_timelines,
+            output_arrivals_ps=output_arrivals,
+            worst_arrival_ps=worst,
+        )

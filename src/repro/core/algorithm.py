@@ -1,0 +1,179 @@
+"""Algorithm 1: aging-aware quantization.
+
+Given an aging level (ΔVth), the algorithm
+
+1. runs STA over all (α, β) compressions and both paddings with the matching
+   aging-aware library, keeping the candidates that meet the *fresh*
+   critical-path delay (lines 2-4),
+2. selects the minimal feasible compression by the Euclidean surrogate
+   √(α²+β²), tie-broken towards activation precision (line 5),
+3. quantizes the network with every method of the quantization library at
+   the bit-widths the compression dictates and returns the first/best method
+   that satisfies the accuracy-loss threshold (lines 6-9); when no threshold
+   is given, the method with the highest accuracy is returned, as in the
+   paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.aging.cell_library import AgingAwareLibrarySet
+from repro.circuits.mac import ArithmeticUnit
+from repro.core.compression import CompressionChoice, select_minimal_compression
+from repro.core.padding import Padding
+from repro.core.timing_analysis import CompressionTiming, CompressionTimingAnalyzer
+from repro.nn.evaluate import QuantizedEvaluation, quantize_and_evaluate
+from repro.nn.model import Model
+from repro.quantization.base import QuantizationMethod
+from repro.quantization.registry import available_methods
+
+
+@dataclass
+class AgingAwareQuantizationResult:
+    """Output of Algorithm 1 for one network at one aging level.
+
+    Attributes:
+        delta_vth_mv: the aging level analysed.
+        timing: STA record of the selected compression (delay, slack, target).
+        selected_method: key of the quantization method chosen (``"M3"``...).
+        evaluation: accuracy record of the selected method.
+        per_method: accuracy records of every evaluated method, keyed by
+            method key (useful for the Table 1 analysis and the ablations).
+        threshold_satisfied: whether the user-supplied accuracy-loss
+            threshold (if any) was met.
+    """
+
+    delta_vth_mv: float
+    timing: CompressionTiming
+    selected_method: str
+    evaluation: QuantizedEvaluation
+    per_method: dict[str, QuantizedEvaluation] = field(default_factory=dict)
+    threshold_satisfied: bool = True
+
+    @property
+    def compression(self) -> CompressionChoice:
+        return self.timing.choice
+
+    @property
+    def accuracy_loss_percent(self) -> float:
+        return self.evaluation.accuracy_loss_percent
+
+
+class AgingAwareQuantizer:
+    """The paper's aging-aware quantization flow (Fig. 3 / Algorithm 1)."""
+
+    def __init__(
+        self,
+        mac: ArithmeticUnit | None = None,
+        library_set: AgingAwareLibrarySet | None = None,
+        methods: list[QuantizationMethod] | None = None,
+        max_alpha: int | None = None,
+        max_beta: int | None = None,
+        paddings: tuple[Padding, ...] = (Padding.MSB, Padding.LSB),
+    ) -> None:
+        self.timing_analyzer = CompressionTimingAnalyzer(mac, library_set)
+        self.methods = methods if methods is not None else available_methods()
+        if not self.methods:
+            raise ValueError("the quantization method library must not be empty")
+        self.max_alpha = max_alpha
+        self.max_beta = max_beta
+        self.paddings = paddings
+
+    # -------------------------------------------------------------- line 2-5
+    def select_compression(self, delta_vth_mv: float) -> CompressionTiming:
+        """Minimal compression whose aged delay meets the fresh clock."""
+        feasible = self.timing_analyzer.feasible_compressions(
+            delta_vth_mv,
+            max_alpha=self.max_alpha,
+            max_beta=self.max_beta,
+            paddings=self.paddings,
+        )
+        if not feasible:
+            raise RuntimeError(
+                f"no (alpha, beta) compression meets the fresh timing target at "
+                f"ΔVth={delta_vth_mv} mV; the aging level exceeds what input "
+                "compression can compensate for this MAC"
+            )
+        by_choice = {timing.choice: timing for timing in feasible}
+        selected = select_minimal_compression(list(by_choice))
+        return by_choice[selected]
+
+    # -------------------------------------------------------------- line 6-9
+    def quantize_model(
+        self,
+        model: Model,
+        compression: CompressionChoice,
+        calibration_data: np.ndarray,
+        x_test: np.ndarray,
+        y_test: np.ndarray,
+        accuracy_loss_threshold_percent: float | None = None,
+        fp32_accuracy: float | None = None,
+    ) -> tuple[str, QuantizedEvaluation, dict[str, QuantizedEvaluation], bool]:
+        """Search the method library at the compression's bit-widths.
+
+        Returns ``(selected_key, selected_evaluation, per_method, satisfied)``.
+        """
+        multiplier_width = int(self.timing_analyzer.mac.input_widths.get("a", 8))
+        activation_bits = compression.activation_bits(multiplier_width)
+        weight_bits = compression.weight_bits(multiplier_width)
+        bias_bits = compression.bias_bits(multiplier_width)
+        if fp32_accuracy is None:
+            fp32_accuracy = model.accuracy(x_test, y_test)
+
+        per_method: dict[str, QuantizedEvaluation] = {}
+        for method in self.methods:
+            evaluation = quantize_and_evaluate(
+                model,
+                method,
+                activation_bits=activation_bits,
+                weight_bits=weight_bits,
+                bias_bits=bias_bits,
+                calibration_data=calibration_data,
+                x_test=x_test,
+                y_test=y_test,
+                fp32_accuracy=fp32_accuracy,
+            )
+            per_method[method.key] = evaluation
+            if (
+                accuracy_loss_threshold_percent is not None
+                and evaluation.accuracy_loss_percent <= accuracy_loss_threshold_percent
+            ):
+                return method.key, evaluation, per_method, True
+
+        best_key = min(per_method, key=lambda key: per_method[key].accuracy_loss_percent)
+        satisfied = accuracy_loss_threshold_percent is None
+        return best_key, per_method[best_key], per_method, satisfied
+
+    # ------------------------------------------------------------------- run
+    def run(
+        self,
+        model: Model,
+        delta_vth_mv: float,
+        calibration_data: np.ndarray,
+        x_test: np.ndarray,
+        y_test: np.ndarray,
+        accuracy_loss_threshold_percent: float | None = None,
+        fp32_accuracy: float | None = None,
+    ) -> AgingAwareQuantizationResult:
+        """Full Algorithm 1 for one network at one aging level."""
+        timing = self.select_compression(delta_vth_mv)
+        selected, evaluation, per_method, satisfied = self.quantize_model(
+            model,
+            timing.choice,
+            calibration_data,
+            x_test,
+            y_test,
+            accuracy_loss_threshold_percent=accuracy_loss_threshold_percent,
+            fp32_accuracy=fp32_accuracy,
+        )
+        return AgingAwareQuantizationResult(
+            delta_vth_mv=delta_vth_mv,
+            timing=timing,
+            selected_method=selected,
+            evaluation=evaluation,
+            per_method=per_method,
+            threshold_satisfied=satisfied,
+        )

@@ -1,0 +1,118 @@
+"""The (α, β) compression space and the minimal-compression selection rule."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+from repro.core.padding import Padding
+
+
+@dataclass(frozen=True, order=False)
+class CompressionChoice:
+    """One point of the compression space: (α, β) plus the padding side.
+
+    α bits are removed from the activations, β bits from the weights; the
+    accumulator operand loses α+β bits.  ``Padding`` records where the zeros
+    are placed (see :mod:`repro.core.padding`).
+    """
+
+    alpha: int
+    beta: int
+    padding: Padding = Padding.MSB
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta < 0:
+            raise ValueError("alpha and beta must be non-negative")
+
+    # ------------------------------------------------------------- bit widths
+    def activation_bits(self, multiplier_width: int = 8) -> int:
+        """Bit-width of the compressed activations (``8 - α`` in the paper)."""
+        bits = multiplier_width - self.alpha
+        if bits < 1:
+            raise ValueError(f"alpha={self.alpha} leaves no activation bits")
+        return bits
+
+    def weight_bits(self, multiplier_width: int = 8) -> int:
+        """Bit-width of the compressed weights (``8 - β`` in the paper)."""
+        bits = multiplier_width - self.beta
+        if bits < 1:
+            raise ValueError(f"beta={self.beta} leaves no weight bits")
+        return bits
+
+    def bias_bits(self, multiplier_width: int = 8) -> int:
+        """Bit-width of the compressed biases (``16 - α - β`` in the paper)."""
+        bits = 2 * multiplier_width - self.alpha - self.beta
+        if bits < 1:
+            raise ValueError("compression leaves no bias bits")
+        return bits
+
+    # ---------------------------------------------------------------- metrics
+    @property
+    def surrogate(self) -> float:
+        """The paper's compression surrogate, the Euclidean norm of (α, β)."""
+        return euclidean_surrogate(self.alpha, self.beta)
+
+    @property
+    def is_uncompressed(self) -> bool:
+        return self.alpha == 0 and self.beta == 0
+
+    def label(self) -> str:
+        """Compact human-readable label, e.g. ``"(3,4)/LSB"``."""
+        return f"({self.alpha},{self.beta})/{self.padding}"
+
+
+def euclidean_surrogate(alpha: int, beta: int) -> float:
+    """√(α² + β²): the paper's surrogate for the severity of a compression."""
+    return math.sqrt(alpha * alpha + beta * beta)
+
+
+def enumerate_compressions(
+    max_alpha: int = 8,
+    max_beta: int = 8,
+    paddings: Iterable[Padding] = (Padding.MSB, Padding.LSB),
+    include_uncompressed: bool = True,
+) -> list[CompressionChoice]:
+    """All (α, β, padding) points of the search space of Algorithm 1, line 2.
+
+    The uncompressed point (0, 0) is padding-agnostic, so it appears once.
+    """
+    if max_alpha < 0 or max_beta < 0:
+        raise ValueError("max_alpha and max_beta must be non-negative")
+    paddings = tuple(paddings)
+    if not paddings:
+        raise ValueError("at least one padding option is required")
+    choices: list[CompressionChoice] = []
+    if include_uncompressed:
+        choices.append(CompressionChoice(0, 0, paddings[0]))
+    for alpha in range(max_alpha + 1):
+        for beta in range(max_beta + 1):
+            if alpha == 0 and beta == 0:
+                continue
+            for padding in paddings:
+                choices.append(CompressionChoice(alpha, beta, padding))
+    return choices
+
+
+def select_minimal_compression(feasible: Sequence[CompressionChoice]) -> CompressionChoice:
+    """Pick the least-aggressive feasible compression (Algorithm 1, line 5).
+
+    The primary criterion is the Euclidean surrogate √(α²+β²); ties are
+    broken by the smallest α (highest activation precision, following the
+    paper's ACIQ-motivated tie-break) and then by the smallest β.  If the
+    same (α, β) is feasible under both paddings, MSB padding is preferred
+    because it needs no output shift.
+    """
+    if not feasible:
+        raise ValueError("no feasible compression to select from")
+
+    def sort_key(choice: CompressionChoice):
+        return (
+            choice.surrogate,
+            choice.alpha,
+            choice.beta,
+            0 if choice.padding is Padding.MSB else 1,
+        )
+
+    return min(feasible, key=sort_key)

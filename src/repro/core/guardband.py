@@ -1,0 +1,93 @@
+"""Guardband analysis and the delay trajectories of Fig. 4a.
+
+The unprotected baseline must be clocked at the end-of-life critical-path
+delay (fresh delay × aging degradation), i.e. it carries a timing guardband
+from day one.  The paper's technique instead keeps the fresh clock and
+compensates aging with input compression, so its effective delay stays at or
+below 1.0× the fresh delay for the whole lifetime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Mapping
+
+from repro.aging.cell_library import AgingAwareLibrarySet
+from repro.circuits.mac import ArithmeticUnit
+from repro.core.compression import CompressionChoice
+from repro.core.timing_analysis import CompressionTimingAnalyzer
+
+
+@dataclass(frozen=True)
+class GuardbandAnalysis:
+    """Guardband sizing for a projected lifetime.
+
+    Attributes:
+        fresh_delay_ps: critical-path delay of the fresh, uncompressed MAC.
+        end_of_life_delay_ps: critical-path delay at the end-of-life ΔVth.
+        end_of_life_mv: the ΔVth level used as end of life.
+    """
+
+    fresh_delay_ps: float
+    end_of_life_delay_ps: float
+    end_of_life_mv: float
+
+    @property
+    def guardband_fraction(self) -> float:
+        """Relative guardband the baseline needs (≈ 0.23 for 10 years)."""
+        return self.end_of_life_delay_ps / self.fresh_delay_ps - 1.0
+
+    @property
+    def guardband_percent(self) -> float:
+        return self.guardband_fraction * 100.0
+
+    @property
+    def performance_gain_percent(self) -> float:
+        """Performance gained by removing the guardband (the paper's 23 %)."""
+        return self.guardband_percent
+
+
+def analyze_guardband(
+    mac: ArithmeticUnit | None = None,
+    library_set: AgingAwareLibrarySet | None = None,
+    end_of_life_mv: float = 50.0,
+    analyzer: CompressionTimingAnalyzer | None = None,
+) -> GuardbandAnalysis:
+    """Size the aging guardband of the uncompressed MAC."""
+    analyzer = analyzer or CompressionTimingAnalyzer(mac, library_set)
+    fresh = analyzer.fresh_period_ps()
+    end_of_life = analyzer.delay_ps(end_of_life_mv, None)
+    return GuardbandAnalysis(
+        fresh_delay_ps=fresh,
+        end_of_life_delay_ps=end_of_life,
+        end_of_life_mv=end_of_life_mv,
+    )
+
+
+def baseline_delay_trajectory(
+    analyzer: CompressionTimingAnalyzer,
+    levels_mv: Iterable[float],
+) -> list[tuple[float, float]]:
+    """Normalized delay of the uncompressed MAC over the aging levels.
+
+    Returns ``(delta_vth_mv, delay / fresh_delay)`` pairs — the "Baseline"
+    curve of Fig. 4a.
+    """
+    fresh = analyzer.fresh_period_ps()
+    return [(level, analyzer.delay_ps(level, None) / fresh) for level in levels_mv]
+
+
+def compensated_delay_trajectory(
+    analyzer: CompressionTimingAnalyzer,
+    selections: Mapping[float, CompressionChoice],
+) -> list[tuple[float, float]]:
+    """Normalized delay of the compressed MAC over the aging levels.
+
+    ``selections`` maps each ΔVth level to the compression Algorithm 1
+    selected for it — the "Ours" curve of Fig. 4a.
+    """
+    fresh = analyzer.fresh_period_ps()
+    return [
+        (level, analyzer.delay_ps(level, choice) / fresh)
+        for level, choice in sorted(selections.items())
+    ]

@@ -1,0 +1,117 @@
+"""Zero-padding semantics of compressed MAC inputs.
+
+Under (α, β) compression the activations shrink to ``8-α`` bits, the weights
+to ``8-β`` bits and the accumulator input to ``22-(α+β)`` bits.  The unused
+bit positions are tied to zero in one of two ways (paper Section IV):
+
+* **MSB padding** — the value occupies the low-order bits and the top bit
+  positions are zero.  No output shift is needed.
+* **LSB padding** — the value is shifted left into the high-order bits and
+  the bottom positions are zero.  The MAC result is then scaled by
+  ``2^(α+β)`` and must be shifted right in software (paper Eq. 5).
+
+Both paddings activate different subsets of the MAC's timing paths, which is
+why Algorithm 1 evaluates both during the STA phase.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable, Mapping
+
+import numpy as np
+
+from repro.circuits.mac import ArithmeticUnit
+
+
+class Padding(str, enum.Enum):
+    """Where the zero padding is placed inside the operand word."""
+
+    MSB = "msb"
+    LSB = "lsb"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value.upper()
+
+
+def _bus_constants(bus: str, width: int, zero_bits: int, padding: Padding) -> dict[str, int]:
+    """Case-analysis constants tying ``zero_bits`` bits of ``bus`` to zero."""
+    if zero_bits < 0 or zero_bits > width:
+        raise ValueError(f"cannot zero {zero_bits} bits of a {width}-bit bus")
+    if zero_bits == 0:
+        return {}
+    if padding is Padding.MSB:
+        positions = range(width - zero_bits, width)
+    else:
+        positions = range(zero_bits)
+    return {f"{bus}[{i}]": 0 for i in positions}
+
+
+def multiplier_case_analysis(
+    alpha: int, beta: int, padding: Padding, width: int = 8
+) -> dict[str, int]:
+    """Constant input bits of a standalone multiplier under (α, β) compression."""
+    constants = _bus_constants("a", width, alpha, padding)
+    constants.update(_bus_constants("b", width, beta, padding))
+    return constants
+
+
+def mac_case_analysis(
+    alpha: int,
+    beta: int,
+    padding: Padding,
+    multiplier_width: int = 8,
+    accumulator_width: int = 22,
+) -> dict[str, int]:
+    """Constant input bits of the MAC unit under (α, β) compression.
+
+    The accumulator operand is compressed by ``α + β`` bits because the
+    products it accumulates shrink by that amount (paper Section V).
+    """
+    constants = multiplier_case_analysis(alpha, beta, padding, multiplier_width)
+    constants.update(_bus_constants("c", accumulator_width, alpha + beta, padding))
+    return constants
+
+
+def output_shift(alpha: int, beta: int, padding: Padding) -> int:
+    """Right-shift the MAC/convolution output needs after LSB padding."""
+    return alpha + beta if padding is Padding.LSB else 0
+
+
+def compressed_input_sampler(
+    unit: ArithmeticUnit,
+    alpha: int,
+    beta: int,
+    padding: Padding,
+) -> Callable[[np.random.Generator], Mapping[str, int]]:
+    """Random operand sampler matching the compressed operand ranges.
+
+    Used by the energy experiment (Fig. 5): operands are drawn uniformly
+    from the compressed ranges and placed at the bit positions the padding
+    dictates, so the switching-activity simulation sees exactly the traffic
+    an (α, β)-compressed NPU produces.
+    """
+    mult_width = unit.input_widths.get("a", 8)
+    acc_width = unit.input_widths.get("c", 0)
+    if alpha < 0 or beta < 0 or alpha > mult_width or beta > mult_width:
+        raise ValueError("alpha/beta out of range for the unit's operand width")
+
+    def place(value: int, zero_bits: int, width: int) -> int:
+        if padding is Padding.LSB:
+            return value << zero_bits if zero_bits < width else 0
+        return value
+
+    def sample(rng: np.random.Generator) -> dict[str, int]:
+        a_value = int(rng.integers(0, 1 << (mult_width - alpha))) if alpha < mult_width else 0
+        b_value = int(rng.integers(0, 1 << (mult_width - beta))) if beta < mult_width else 0
+        inputs = {
+            "a": place(a_value, alpha, mult_width),
+            "b": place(b_value, beta, mult_width),
+        }
+        if acc_width:
+            acc_bits = max(acc_width - alpha - beta, 0)
+            c_value = int(rng.integers(0, 1 << acc_bits)) if acc_bits > 0 else 0
+            inputs["c"] = place(c_value, alpha + beta, acc_width)
+        return inputs
+
+    return sample

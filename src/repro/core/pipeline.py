@@ -1,0 +1,213 @@
+"""Device-to-system lifetime study (the flow of the paper's Fig. 3).
+
+The pipeline strings the substrates together for a whole aging scenario:
+
+1. for every ΔVth level, run the timing phase of Algorithm 1 and record the
+   selected compression and the baseline/compensated MAC delays (Table 2 and
+   Fig. 4a),
+2. quantize any number of networks at each level's compression with the best
+   method from the library (Table 1 and Fig. 4b),
+3. estimate the per-operation MAC energy under the compressed operand
+   traffic against the guardbanded baseline (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.aging.bti import AgingScenario
+from repro.aging.cell_library import AgingAwareLibrarySet
+from repro.circuits.mac import ArithmeticUnit
+from repro.core.algorithm import AgingAwareQuantizationResult, AgingAwareQuantizer
+from repro.core.compression import CompressionChoice
+from repro.core.guardband import GuardbandAnalysis, analyze_guardband
+from repro.core.padding import Padding, compressed_input_sampler
+from repro.core.timing_analysis import CompressionTiming
+from repro.nn.model import Model
+from repro.power.energy import EnergyModel, EnergyReport
+from repro.quantization.base import QuantizationMethod
+
+
+@dataclass(frozen=True)
+class LevelPlan:
+    """Timing decisions for one aging level.
+
+    Attributes:
+        delta_vth_mv: the aging level.
+        timing: STA record of the selected compression.
+        baseline_delay_ps: delay of the *uncompressed* MAC at this level
+            (what an unprotected NPU would need).
+    """
+
+    delta_vth_mv: float
+    timing: CompressionTiming
+    baseline_delay_ps: float
+
+    @property
+    def compression(self) -> CompressionChoice:
+        return self.timing.choice
+
+    @property
+    def normalized_baseline_delay(self) -> float:
+        return self.baseline_delay_ps / self.timing.target_period_ps
+
+    @property
+    def normalized_compensated_delay(self) -> float:
+        return self.timing.normalized_delay
+
+
+@dataclass(frozen=True)
+class LevelEnergy:
+    """Energy comparison for one aging level (Fig. 5)."""
+
+    delta_vth_mv: float
+    baseline: EnergyReport
+    compressed: EnergyReport
+
+    @property
+    def normalized_energy(self) -> float:
+        """Energy of our technique relative to the guardbanded baseline."""
+        baseline = self.baseline.energy_per_operation_fj
+        if baseline == 0:
+            return 1.0
+        return self.compressed.energy_per_operation_fj / baseline
+
+
+class DeviceToSystemPipeline:
+    """End-to-end lifetime study over an aging scenario."""
+
+    def __init__(
+        self,
+        mac: ArithmeticUnit | None = None,
+        library_set: AgingAwareLibrarySet | None = None,
+        scenario: AgingScenario | None = None,
+        methods: list[QuantizationMethod] | None = None,
+        max_alpha: int | None = None,
+        max_beta: int | None = None,
+    ) -> None:
+        self.scenario = scenario or AgingScenario()
+        self.library_set = library_set or AgingAwareLibrarySet.generate(self.scenario.levels_mv)
+        self.quantizer = AgingAwareQuantizer(
+            mac=mac,
+            library_set=self.library_set,
+            methods=methods,
+            max_alpha=max_alpha,
+            max_beta=max_beta,
+        )
+        self._plans: dict[float, LevelPlan] = {}
+
+    # --------------------------------------------------------------- aliases
+    @property
+    def mac(self) -> ArithmeticUnit:
+        return self.quantizer.timing_analyzer.mac
+
+    @property
+    def timing_analyzer(self):
+        return self.quantizer.timing_analyzer
+
+    # ------------------------------------------------------------------ plan
+    def plan_level(self, delta_vth_mv: float) -> LevelPlan:
+        """Timing phase of Algorithm 1 for one aging level (cached)."""
+        key = float(delta_vth_mv)
+        if key not in self._plans:
+            timing = self.quantizer.select_compression(key)
+            baseline_delay = self.timing_analyzer.delay_ps(key, None)
+            self._plans[key] = LevelPlan(
+                delta_vth_mv=key, timing=timing, baseline_delay_ps=baseline_delay
+            )
+        return self._plans[key]
+
+    def plan(self, levels_mv: tuple[float, ...] | None = None) -> list[LevelPlan]:
+        """Timing plan for every level of the scenario (Table 2 / Fig. 4a)."""
+        levels = levels_mv if levels_mv is not None else self.scenario.levels_mv
+        return [self.plan_level(level) for level in levels]
+
+    def guardband(self) -> GuardbandAnalysis:
+        """Guardband the unprotected baseline would need for the scenario."""
+        return analyze_guardband(
+            end_of_life_mv=self.scenario.end_of_life_mv, analyzer=self.timing_analyzer
+        )
+
+    # --------------------------------------------------------------- networks
+    def evaluate_network(
+        self,
+        model: Model,
+        calibration_data: np.ndarray,
+        x_test: np.ndarray,
+        y_test: np.ndarray,
+        levels_mv: tuple[float, ...] | None = None,
+        accuracy_loss_threshold_percent: float | None = None,
+    ) -> list[AgingAwareQuantizationResult]:
+        """Run Algorithm 1 for one network over the (aged) scenario levels."""
+        levels = levels_mv if levels_mv is not None else self.scenario.aged_levels_mv()
+        fp32_accuracy = model.accuracy(x_test, y_test)
+        results = []
+        for level in levels:
+            plan = self.plan_level(level)
+            selected, evaluation, per_method, satisfied = self.quantizer.quantize_model(
+                model,
+                plan.compression,
+                calibration_data,
+                x_test,
+                y_test,
+                accuracy_loss_threshold_percent=accuracy_loss_threshold_percent,
+                fp32_accuracy=fp32_accuracy,
+            )
+            results.append(
+                AgingAwareQuantizationResult(
+                    delta_vth_mv=level,
+                    timing=plan.timing,
+                    selected_method=selected,
+                    evaluation=evaluation,
+                    per_method=per_method,
+                    threshold_satisfied=satisfied,
+                )
+            )
+        return results
+
+    # ----------------------------------------------------------------- energy
+    def energy_study(
+        self,
+        levels_mv: tuple[float, ...] | None = None,
+        num_transitions: int = 400,
+        rng: int = 0,
+    ) -> list[LevelEnergy]:
+        """Per-operation MAC energy: ours vs the guardbanded baseline (Fig. 5).
+
+        The baseline runs uncompressed 8-bit traffic at the guardbanded
+        (end-of-life) clock period; our technique runs the compressed
+        operand traffic of each level at the fresh clock period.
+        """
+        levels = levels_mv if levels_mv is not None else self.scenario.levels_mv
+        guardband = self.guardband()
+        fresh_period = self.timing_analyzer.fresh_period_ps()
+        baseline_period = guardband.end_of_life_delay_ps
+
+        results = []
+        for index, level in enumerate(levels):
+            library = self.library_set.library(level)
+            energy_model = EnergyModel(library)
+            baseline = energy_model.estimate_operation_energy(
+                self.mac,
+                clock_period_ps=baseline_period,
+                num_transitions=num_transitions,
+                rng=rng + 2 * index,
+            )
+            if level == 0:
+                choice = CompressionChoice(0, 0, Padding.MSB)
+            else:
+                choice = self.plan_level(level).compression
+            sampler = compressed_input_sampler(self.mac, choice.alpha, choice.beta, choice.padding)
+            compressed = energy_model.estimate_operation_energy(
+                self.mac,
+                clock_period_ps=fresh_period,
+                num_transitions=num_transitions,
+                rng=rng + 2 * index + 1,
+                input_sampler=sampler,
+            )
+            results.append(
+                LevelEnergy(delta_vth_mv=level, baseline=baseline, compressed=compressed)
+            )
+        return results

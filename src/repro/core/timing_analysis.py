@@ -1,0 +1,134 @@
+"""Delay analysis of the (aged, compressed) MAC unit.
+
+This is the STA phase of Algorithm 1 (lines 2-4): for every candidate
+compression and padding, run static timing analysis of the MAC with the
+aging-aware library of the target ΔVth level while tying the padded operand
+bits to zero, and keep the candidates whose delay meets the timing
+constraint (the fresh, uncompressed critical-path delay — i.e. zero
+guardband).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable
+
+from repro.aging.cell_library import AgingAwareLibrarySet
+from repro.circuits.mac import ArithmeticUnit, build_mac
+from repro.core.compression import CompressionChoice, enumerate_compressions
+from repro.core.padding import Padding, mac_case_analysis
+from repro.timing.sta import StaticTimingAnalyzer
+
+
+@dataclass(frozen=True)
+class CompressionTiming:
+    """STA result of one compression candidate at one aging level."""
+
+    choice: CompressionChoice
+    delta_vth_mv: float
+    delay_ps: float
+    target_period_ps: float
+
+    @property
+    def slack_ps(self) -> float:
+        return self.target_period_ps - self.delay_ps
+
+    @property
+    def meets_timing(self) -> bool:
+        return self.slack_ps >= 0.0
+
+    @property
+    def normalized_delay(self) -> float:
+        """Delay normalized to the timing target (fresh uncompressed MAC)."""
+        return self.delay_ps / self.target_period_ps
+
+
+class CompressionTimingAnalyzer:
+    """Caches per-level STA engines and evaluates compression candidates."""
+
+    def __init__(
+        self,
+        mac: ArithmeticUnit | None = None,
+        library_set: AgingAwareLibrarySet | None = None,
+    ) -> None:
+        self.mac = mac or build_mac()
+        self.library_set = library_set or AgingAwareLibrarySet.generate()
+        self._analyzers: dict[float, StaticTimingAnalyzer] = {}
+        self._fresh_period_ps: float | None = None
+        self._delay_cache: dict[tuple[float, int, int, Padding], float] = {}
+
+    # ------------------------------------------------------------------ setup
+    def _analyzer(self, delta_vth_mv: float) -> StaticTimingAnalyzer:
+        key = float(delta_vth_mv)
+        if key not in self._analyzers:
+            self._analyzers[key] = StaticTimingAnalyzer(
+                self.mac, self.library_set.library(key)
+            )
+        return self._analyzers[key]
+
+    def fresh_period_ps(self) -> float:
+        """Timing target: critical path of the fresh, uncompressed MAC."""
+        if self._fresh_period_ps is None:
+            self._fresh_period_ps = self._analyzer(0.0).critical_path_delay()
+        return self._fresh_period_ps
+
+    # ------------------------------------------------------------------ delay
+    def delay_ps(self, delta_vth_mv: float, choice: CompressionChoice | None = None) -> float:
+        """Critical-path delay of the MAC at an aging level and compression."""
+        if choice is None:
+            choice = CompressionChoice(0, 0)
+        cache_key = (float(delta_vth_mv), choice.alpha, choice.beta, choice.padding)
+        if cache_key not in self._delay_cache:
+            multiplier_width = int(self.mac.input_widths.get("a", 8))
+            accumulator_width = int(self.mac.input_widths.get("c", 22))
+            case = mac_case_analysis(
+                choice.alpha,
+                choice.beta,
+                choice.padding,
+                multiplier_width=multiplier_width,
+                accumulator_width=accumulator_width,
+            )
+            self._delay_cache[cache_key] = self._analyzer(delta_vth_mv).critical_path_delay(case)
+        return self._delay_cache[cache_key]
+
+    def timing(self, delta_vth_mv: float, choice: CompressionChoice) -> CompressionTiming:
+        """Full timing record of one candidate compression."""
+        return CompressionTiming(
+            choice=choice,
+            delta_vth_mv=delta_vth_mv,
+            delay_ps=self.delay_ps(delta_vth_mv, choice),
+            target_period_ps=self.fresh_period_ps(),
+        )
+
+    # ----------------------------------------------------------------- search
+    def feasible_compressions(
+        self,
+        delta_vth_mv: float,
+        max_alpha: int | None = None,
+        max_beta: int | None = None,
+        paddings: Iterable[Padding] = (Padding.MSB, Padding.LSB),
+        target_period_ps: float | None = None,
+    ) -> list[CompressionTiming]:
+        """Candidates meeting the timing target at ``delta_vth_mv``.
+
+        The search space defaults to α, β ∈ [0, 8] as in Algorithm 1; tests
+        and quick studies can restrict it for speed.
+        """
+        multiplier_width = int(self.mac.input_widths.get("a", 8))
+        max_alpha = multiplier_width if max_alpha is None else max_alpha
+        max_beta = multiplier_width if max_beta is None else max_beta
+        target = target_period_ps if target_period_ps is not None else self.fresh_period_ps()
+        feasible = []
+        for choice in enumerate_compressions(max_alpha, max_beta, paddings):
+            if choice.alpha >= multiplier_width or choice.beta >= multiplier_width:
+                # Removing all operand bits is not a meaningful design point.
+                continue
+            timing = CompressionTiming(
+                choice=choice,
+                delta_vth_mv=delta_vth_mv,
+                delay_ps=self.delay_ps(delta_vth_mv, choice),
+                target_period_ps=target,
+            )
+            if timing.meets_timing:
+                feasible.append(timing)
+        return feasible

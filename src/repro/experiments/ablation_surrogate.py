@@ -1,0 +1,92 @@
+"""Section VI-B ablation — ranking quality of the √(α²+β²) surrogate.
+
+Algorithm 1 selects among feasible compressions using the Euclidean norm of
+(α, β) as a surrogate for the accuracy loss the compression will cause.  The
+paper validates the surrogate by ranking all (α, β) ∈ [0, 4]² both by the
+surrogate and by the measured accuracy loss (per method, per network) and
+reporting the Pearson correlation between the two rankings (0.84 on average).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import pearsonr
+
+from repro.core.compression import euclidean_surrogate
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.settings import ExperimentSettings
+from repro.experiments.workspace import ExperimentWorkspace
+from repro.nn.evaluate import quantize_and_evaluate
+from repro.nn.zoo import display_name
+from repro.quantization.registry import get_method
+
+
+def _rank(values: list[float]) -> np.ndarray:
+    """Average-rank transform (ties share their mean rank)."""
+    array = np.asarray(values, dtype=np.float64)
+    order = array.argsort(kind="stable")
+    ranks = np.empty_like(array)
+    ranks[order] = np.arange(len(array), dtype=np.float64)
+    # Average ranks of exact ties so the correlation is not order-dependent.
+    for value in np.unique(array):
+        mask = array == value
+        if mask.sum() > 1:
+            ranks[mask] = ranks[mask].mean()
+    return ranks
+
+
+def run_surrogate_ablation(
+    settings: ExperimentSettings | None = None,
+    workspace: ExperimentWorkspace | None = None,
+) -> ExperimentResult:
+    """Correlate the surrogate ranking with measured accuracy-loss rankings."""
+    workspace = workspace or ExperimentWorkspace.create(settings)
+    settings = workspace.settings
+    calibration = workspace.calibration
+    x_test = workspace.test_inputs
+    y_test = workspace.test_labels
+    max_compression = settings.ablation_max_compression
+
+    compressions = [
+        (alpha, beta)
+        for alpha in range(max_compression + 1)
+        for beta in range(max_compression + 1)
+    ]
+    rows = []
+    correlations = []
+    for network in settings.ablation_networks:
+        pretrained = workspace.model(network)
+        fp32_accuracy = pretrained.model.accuracy(x_test, y_test)
+        for method_key in settings.ablation_methods:
+            method = get_method(method_key)
+            losses = []
+            surrogates = []
+            for alpha, beta in compressions:
+                evaluation = quantize_and_evaluate(
+                    pretrained.model,
+                    method,
+                    activation_bits=8 - alpha,
+                    weight_bits=8 - beta,
+                    bias_bits=16 - alpha - beta,
+                    calibration_data=calibration,
+                    x_test=x_test,
+                    y_test=y_test,
+                    fp32_accuracy=fp32_accuracy,
+                )
+                losses.append(evaluation.accuracy_loss_percent)
+                surrogates.append(euclidean_surrogate(alpha, beta))
+            correlation, _ = pearsonr(_rank(surrogates), _rank(losses))
+            correlations.append(float(correlation))
+            rows.append([display_name(network), method_key, float(correlation)])
+
+    return ExperimentResult(
+        experiment_id="ablation_surrogate",
+        title="Section VI-B: Pearson correlation between the compression surrogate and accuracy-loss rankings",
+        columns=["network", "method", "pearson_correlation"],
+        rows=rows,
+        metadata={
+            "mean_correlation": float(np.mean(correlations)) if correlations else 0.0,
+            "compression_grid": f"[0,{max_compression}]^2",
+            "paper_reference": "the paper reports 0.84 average correlation (0.71..0.92)",
+        },
+    )

@@ -1,0 +1,64 @@
+"""Fig. 5 — normalized MAC energy of the technique vs the guardbanded baseline.
+
+The baseline MAC processes full-range 8-bit operands and is clocked with the
+end-of-life guardband; the aging-aware MAC processes the compressed operand
+traffic of each aging level at the fresh clock.  Energy is estimated from
+gate-level switching activity plus leakage integrated over the clock period.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.settings import ExperimentSettings
+from repro.experiments.workspace import ExperimentWorkspace
+
+
+def run_fig5(
+    settings: ExperimentSettings | None = None,
+    workspace: ExperimentWorkspace | None = None,
+) -> ExperimentResult:
+    """Regenerate the Fig. 5 data (normalized energy per aging level)."""
+    workspace = workspace or ExperimentWorkspace.create(settings)
+    settings = workspace.settings
+    pipeline = workspace.pipeline
+
+    study = pipeline.energy_study(
+        levels_mv=settings.aging_levels_mv,
+        num_transitions=settings.energy_transitions,
+        rng=settings.seed,
+    )
+    rows = []
+    aged_reductions = []
+    for entry in study:
+        reduction_percent = (1.0 - entry.normalized_energy) * 100.0
+        if entry.delta_vth_mv > 0:
+            aged_reductions.append(reduction_percent)
+        rows.append(
+            [
+                entry.delta_vth_mv,
+                entry.normalized_energy,
+                reduction_percent,
+                entry.compressed.energy_per_operation_fj,
+                entry.baseline.energy_per_operation_fj,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="Fig. 5: normalized MAC energy (ours at fresh clock vs guardbanded baseline)",
+        columns=[
+            "delta_vth_mv",
+            "normalized_energy",
+            "energy_reduction_percent",
+            "ours_energy_per_op_fj",
+            "baseline_energy_per_op_fj",
+        ],
+        rows=rows,
+        metadata={
+            "average_reduction_percent_aged": float(np.mean(aged_reductions)) if aged_reductions else 0.0,
+            "num_transitions": settings.energy_transitions,
+            "paper_reference": "no overhead when fresh; average 46% energy reduction over the aged "
+            "levels (21%..67%) in the paper",
+        },
+    )

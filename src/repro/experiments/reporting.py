@@ -1,0 +1,70 @@
+"""Result containers and plain-text/JSON reporting for the experiments."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Sequence
+
+from repro.utils.tables import format_table
+
+
+@dataclass
+class ExperimentResult:
+    """Rows regenerating one of the paper's tables or figures.
+
+    Attributes:
+        experiment_id: short identifier, e.g. ``"fig1a"`` or ``"table2"``.
+        title: human-readable description (printed above the table).
+        columns: column headers.
+        rows: row data; cells may be strings or numbers.
+        metadata: free-form context (settings used, derived aggregates, the
+            paper's reference values where applicable).
+    """
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    rows: list[list[object]]
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def to_table(self, float_format: str = ".3f") -> str:
+        """Render the result as an aligned plain-text table."""
+        return format_table(self.columns, self.rows, title=self.title, float_format=float_format)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "metadata": self.metadata,
+        }
+
+    def save_json(self, path: "str | Path") -> Path:
+        """Persist the result (and metadata) as JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, default=_jsonify))
+        return path
+
+    def column_values(self, column: str) -> list[object]:
+        """Extract one column by name."""
+        try:
+            index = self.columns.index(column)
+        except ValueError:
+            raise KeyError(f"column {column!r} not in {self.columns}") from None
+        return [row[index] for row in self.rows]
+
+
+def _jsonify(value: object) -> object:
+    """Best-effort conversion of NumPy scalars for JSON serialisation."""
+    if hasattr(value, "item"):
+        return value.item()
+    return str(value)
+
+
+def summarize(results: Sequence[ExperimentResult]) -> str:
+    """Concatenate several experiment tables into one printable report."""
+    return "\n\n".join(result.to_table() for result in results)

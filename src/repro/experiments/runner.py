@@ -1,0 +1,105 @@
+"""Command-line entry point regenerating the paper's tables and figures.
+
+Example::
+
+    python -m repro.experiments.runner --experiments fig1a fig2 table2 --profile fast
+    python -m repro.experiments.runner --all --profile full --output results/
+
+Each experiment prints the rows the paper reports; ``--output`` additionally
+stores them as JSON for later inspection.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from collections.abc import Callable, Sequence
+
+from repro.experiments.ablation_precision_scaling import run_precision_scaling_ablation
+from repro.experiments.ablation_surrogate import run_surrogate_ablation
+from repro.experiments.fig1a_multiplier_errors import run_fig1a
+from repro.experiments.fig1b_error_injection import run_fig1b
+from repro.experiments.fig2_mac_delay import run_fig2
+from repro.experiments.fig4_delay_accuracy import run_fig4a, run_fig4b
+from repro.experiments.fig5_energy import run_fig5
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.settings import ExperimentSettings
+from repro.experiments.table1_accuracy import run_table1
+from repro.experiments.table2_compression import run_table2
+from repro.experiments.workspace import ExperimentWorkspace
+
+#: Registry of all experiments keyed by their identifier.
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig1a": run_fig1a,
+    "fig1b": run_fig1b,
+    "fig2": run_fig2,
+    "table2": run_table2,
+    "table1": run_table1,
+    "fig4a": run_fig4a,
+    "fig4b": run_fig4b,
+    "fig5": run_fig5,
+    "ablation_surrogate": run_surrogate_ablation,
+    "ablation_precision_scaling": run_precision_scaling_ablation,
+}
+
+
+def run_experiments(
+    names: Sequence[str],
+    settings: ExperimentSettings | None = None,
+    output_dir: "str | Path | None" = None,
+) -> list[ExperimentResult]:
+    """Run the named experiments sharing a single workspace."""
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments {unknown}; available: {sorted(EXPERIMENTS)}")
+    workspace = ExperimentWorkspace.create(settings)
+    results: list[ExperimentResult] = []
+    table1_result: ExperimentResult | None = None
+    for name in names:
+        if name == "table1":
+            result = run_table1(workspace=workspace)
+            table1_result = result
+        elif name == "fig4b":
+            result = run_fig4b(workspace=workspace, table1=table1_result)
+        else:
+            result = EXPERIMENTS[name](workspace=workspace)
+        results.append(result)
+        if output_dir is not None:
+            result.save_json(Path(output_dir) / f"{name}.json")
+    return results
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--experiments",
+        nargs="+",
+        default=None,
+        choices=sorted(EXPERIMENTS),
+        help="experiments to run (default: all)",
+    )
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument(
+        "--profile", choices=("fast", "full"), default="fast", help="settings profile"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="global random seed")
+    parser.add_argument("--output", type=Path, default=None, help="directory for JSON results")
+    arguments = parser.parse_args(argv)
+
+    if arguments.all or arguments.experiments is None:
+        names = list(EXPERIMENTS)
+    else:
+        names = arguments.experiments
+    settings_factory = ExperimentSettings.full if arguments.profile == "full" else ExperimentSettings.fast
+    settings = settings_factory(seed=arguments.seed)
+
+    results = run_experiments(names, settings=settings, output_dir=arguments.output)
+    for result in results:
+        print(result.to_table())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI glue
+    raise SystemExit(main())

@@ -1,0 +1,103 @@
+"""Shared settings for the experiment harness.
+
+Two profiles are provided:
+
+* ``fast`` (default) — sized so that the complete harness runs on a laptop
+  in minutes: a subset of the model zoo, reduced Monte-Carlo sample counts
+  and a reduced test split.  This is what the pytest benchmarks use.
+* ``full`` — the full zoo and larger sample counts; closer to the paper's
+  scale while still tractable offline.
+
+Every knob can also be overridden individually.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.aging.bti import STANDARD_DELTA_VTH_LEVELS_MV
+from repro.nn.zoo import FIG1B_NETWORKS, TABLE1_NETWORKS
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """All tunable knobs of the experiment harness."""
+
+    # Reproducibility.
+    seed: int = 0
+    cache_dir: "str | Path | None" = None
+
+    # Synthetic dataset.
+    num_classes: int = 10
+    image_size: int = 16
+    train_per_class: int = 80
+    test_per_class: int = 30
+
+    # Zoo training.
+    training_epochs: int = 8
+    training_batch_size: int = 64
+
+    # Evaluation.
+    test_subset: int = 250
+    calibration_samples: int = 48
+
+    # Aging scenario.
+    aging_levels_mv: tuple[float, ...] = STANDARD_DELTA_VTH_LEVELS_MV
+
+    # Compression search space (Algorithm 1 uses [0, 8]^2; the delay of the
+    # MAC saturates well before that, so the default keeps the search tight).
+    max_alpha: int = 6
+    max_beta: int = 6
+
+    # Networks.
+    table1_networks: tuple[str, ...] = ("resnet50", "vgg16", "alexnet", "squeezenet")
+    fig1b_networks: tuple[str, ...] = FIG1B_NETWORKS
+
+    # Fig. 1a multiplier error characterisation.
+    error_samples: int = 400
+
+    # Fig. 1b fault injection.
+    flip_probabilities: tuple[float, ...] = (1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2)
+    fault_repetitions: int = 2
+
+    # Fig. 2 compression sweep.
+    fig2_max_compression: int = 4
+
+    # Fig. 5 energy estimation.
+    energy_transitions: int = 300
+
+    # Surrogate-model ablation (Section VI-B).
+    ablation_networks: tuple[str, ...] = ("resnet50", "squeezenet")
+    ablation_max_compression: int = 4
+    ablation_methods: tuple[str, ...] = ("M2", "M4")
+
+    @classmethod
+    def fast(cls, **overrides) -> "ExperimentSettings":
+        """The default laptop-scale profile."""
+        return replace(cls(), **overrides)
+
+    @classmethod
+    def full(cls, **overrides) -> "ExperimentSettings":
+        """The paper-scale profile (all ten Table 1 networks, larger samples)."""
+        settings = cls(
+            train_per_class=120,
+            test_per_class=50,
+            training_epochs=12,
+            test_subset=500,
+            error_samples=2000,
+            fault_repetitions=5,
+            energy_transitions=1000,
+            table1_networks=TABLE1_NETWORKS,
+            ablation_networks=("resnet50", "vgg16", "squeezenet"),
+            ablation_methods=("M1", "M2", "M3", "M4", "M5"),
+        )
+        return replace(settings, **overrides)
+
+    def with_overrides(self, **overrides) -> "ExperimentSettings":
+        """Copy with individual fields replaced."""
+        return replace(self, **overrides)
+
+    @property
+    def aged_levels_mv(self) -> tuple[float, ...]:
+        return tuple(level for level in self.aging_levels_mv if level > 0)

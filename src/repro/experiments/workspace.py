@@ -1,0 +1,114 @@
+"""Lazily constructed shared state for the experiment harness.
+
+Most experiments need the same expensive objects: the synthetic dataset, the
+trained model zoo, the MAC unit with its aging-aware libraries and the
+device-to-system pipeline.  The workspace builds each of them once per
+settings object and caches them for the rest of the process (trained models
+are additionally cached on disk by the zoo).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.aging.bti import AgingScenario
+from repro.aging.cell_library import AgingAwareLibrarySet
+from repro.circuits.mac import ArithmeticUnit, build_mac, build_multiplier
+from repro.core.pipeline import DeviceToSystemPipeline
+from repro.experiments.settings import ExperimentSettings
+from repro.nn.datasets import SyntheticImageDataset
+from repro.nn.training import SGDTrainer
+from repro.nn.zoo import PretrainedModel, get_pretrained
+
+
+@dataclass
+class ExperimentWorkspace:
+    """Shared, lazily built experiment state."""
+
+    settings: ExperimentSettings
+    _dataset: SyntheticImageDataset | None = field(default=None, repr=False)
+    _models: dict[str, PretrainedModel] = field(default_factory=dict, repr=False)
+    _pipeline: DeviceToSystemPipeline | None = field(default=None, repr=False)
+    _mac: ArithmeticUnit | None = field(default=None, repr=False)
+    _multiplier: ArithmeticUnit | None = field(default=None, repr=False)
+    _library_set: AgingAwareLibrarySet | None = field(default=None, repr=False)
+
+    @classmethod
+    def create(cls, settings: ExperimentSettings | None = None) -> "ExperimentWorkspace":
+        return cls(settings=settings or ExperimentSettings.fast())
+
+    # ----------------------------------------------------------------- data
+    @property
+    def dataset(self) -> SyntheticImageDataset:
+        if self._dataset is None:
+            s = self.settings
+            self._dataset = SyntheticImageDataset.generate(
+                num_classes=s.num_classes,
+                image_size=s.image_size,
+                train_per_class=s.train_per_class,
+                test_per_class=s.test_per_class,
+                seed=s.seed,
+            )
+        return self._dataset
+
+    @property
+    def calibration(self) -> np.ndarray:
+        return self.dataset.calibration_split(self.settings.calibration_samples, seed=self.settings.seed)
+
+    @property
+    def test_inputs(self) -> np.ndarray:
+        return self.dataset.x_test[: self.settings.test_subset]
+
+    @property
+    def test_labels(self) -> np.ndarray:
+        return self.dataset.y_test[: self.settings.test_subset]
+
+    # --------------------------------------------------------------- models
+    def model(self, name: str) -> PretrainedModel:
+        """Trained zoo model (trained on first use, cached on disk)."""
+        if name not in self._models:
+            trainer = SGDTrainer(
+                epochs=self.settings.training_epochs,
+                batch_size=self.settings.training_batch_size,
+            )
+            self._models[name] = get_pretrained(
+                name,
+                self.dataset,
+                trainer=trainer,
+                seed=self.settings.seed,
+                cache_dir=self.settings.cache_dir,
+            )
+        return self._models[name]
+
+    # ------------------------------------------------------------- hardware
+    @property
+    def mac(self) -> ArithmeticUnit:
+        if self._mac is None:
+            self._mac = build_mac()
+        return self._mac
+
+    @property
+    def multiplier(self) -> ArithmeticUnit:
+        if self._multiplier is None:
+            self._multiplier = build_multiplier(8, "array")
+        return self._multiplier
+
+    @property
+    def library_set(self) -> AgingAwareLibrarySet:
+        if self._library_set is None:
+            self._library_set = AgingAwareLibrarySet.generate(self.settings.aging_levels_mv)
+        return self._library_set
+
+    @property
+    def pipeline(self) -> DeviceToSystemPipeline:
+        if self._pipeline is None:
+            self._pipeline = DeviceToSystemPipeline(
+                mac=self.mac,
+                library_set=self.library_set,
+                scenario=AgingScenario(levels_mv=self.settings.aging_levels_mv),
+                max_alpha=self.settings.max_alpha,
+                max_beta=self.settings.max_beta,
+            )
+        return self._pipeline

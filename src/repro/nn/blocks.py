@@ -1,0 +1,142 @@
+"""Composite building blocks: residual blocks and SqueezeNet fire modules.
+
+These blocks let the synthetic model zoo mirror the architecture styles of
+the paper's ten ImageNet networks: ResNet / Wide-ResNet variants use
+:class:`ResidualBlock`, SqueezeNet uses :class:`FireModule`, while the VGG
+and AlexNet variants are plain stacks of the primitive layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Conv2D, Layer, ReLU
+from repro.utils.rng import derive_rng
+
+
+class ResidualBlock(Layer):
+    """Two 3x3 convolutions with a (projected) identity shortcut."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.stride = stride
+        self.conv1 = Conv2D(
+            in_channels, out_channels, kernel_size=3, stride=stride, rng=derive_rng(rng, "conv1")
+        )
+        self.relu1 = ReLU()
+        self.conv2 = Conv2D(out_channels, out_channels, kernel_size=3, rng=derive_rng(rng, "conv2"))
+        self.relu2 = ReLU()
+        self.shortcut: Conv2D | None = None
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = Conv2D(
+                in_channels,
+                out_channels,
+                kernel_size=1,
+                stride=stride,
+                padding=0,
+                rng=derive_rng(rng, "shortcut"),
+            )
+
+    def children(self) -> list[Layer]:
+        layers: list[Layer] = [self.conv1, self.relu1, self.conv2, self.relu2]
+        if self.shortcut is not None:
+            layers.append(self.shortcut)
+        return layers
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        hidden = self.relu1.forward(self.conv1.forward(x, training), training)
+        hidden = self.conv2.forward(hidden, training)
+        identity = self.shortcut.forward(x, training) if self.shortcut is not None else x
+        return self.relu2.forward(hidden + identity, training)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad_sum = self.relu2.backward(grad)
+        grad_hidden = self.conv2.backward(grad_sum)
+        grad_hidden = self.relu1.backward(grad_hidden)
+        grad_input = self.conv1.backward(grad_hidden)
+        if self.shortcut is not None:
+            grad_identity = self.shortcut.backward(grad_sum)
+        else:
+            grad_identity = grad_sum
+        return grad_input + grad_identity
+
+    def forward_quantized(self, x: np.ndarray, context) -> np.ndarray:
+        hidden = self.relu1.forward_quantized(
+            self.conv1.forward_quantized(x, context), context
+        )
+        hidden = self.conv2.forward_quantized(hidden, context)
+        identity = (
+            self.shortcut.forward_quantized(x, context) if self.shortcut is not None else x
+        )
+        return self.relu2.forward_quantized(hidden + identity, context)
+
+
+class FireModule(Layer):
+    """SqueezeNet fire module: 1x1 squeeze, then parallel 1x1/3x3 expand."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        squeeze_channels: int,
+        expand_channels: int,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.squeeze_channels = squeeze_channels
+        self.expand_channels = expand_channels
+        self.squeeze = Conv2D(
+            in_channels, squeeze_channels, kernel_size=1, padding=0, rng=derive_rng(rng, "squeeze")
+        )
+        self.squeeze_relu = ReLU()
+        self.expand1 = Conv2D(
+            squeeze_channels, expand_channels, kernel_size=1, padding=0, rng=derive_rng(rng, "expand1")
+        )
+        self.expand3 = Conv2D(
+            squeeze_channels, expand_channels, kernel_size=3, padding=1, rng=derive_rng(rng, "expand3")
+        )
+        self.expand_relu = ReLU()
+
+    @property
+    def out_channels(self) -> int:
+        return 2 * self.expand_channels
+
+    def children(self) -> list[Layer]:
+        return [self.squeeze, self.squeeze_relu, self.expand1, self.expand3, self.expand_relu]
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        squeezed = self.squeeze_relu.forward(self.squeeze.forward(x, training), training)
+        expanded = np.concatenate(
+            (self.expand1.forward(squeezed, training), self.expand3.forward(squeezed, training)),
+            axis=1,
+        )
+        return self.expand_relu.forward(expanded, training)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad = self.expand_relu.backward(grad)
+        grad1 = grad[:, : self.expand_channels]
+        grad3 = grad[:, self.expand_channels :]
+        grad_squeezed = self.expand1.backward(grad1) + self.expand3.backward(grad3)
+        grad_squeezed = self.squeeze_relu.backward(grad_squeezed)
+        return self.squeeze.backward(grad_squeezed)
+
+    def forward_quantized(self, x: np.ndarray, context) -> np.ndarray:
+        squeezed = self.squeeze_relu.forward_quantized(
+            self.squeeze.forward_quantized(x, context), context
+        )
+        expanded = np.concatenate(
+            (
+                self.expand1.forward_quantized(squeezed, context),
+                self.expand3.forward_quantized(squeezed, context),
+            ),
+            axis=1,
+        )
+        return self.expand_relu.forward_quantized(expanded, context)

@@ -1,0 +1,124 @@
+"""Accuracy evaluation helpers for FP32, quantized and fault-injected models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.faults import MsbBitFlipInjector
+from repro.nn.model import Model
+from repro.nn.quantized import QuantizedModel
+from repro.quantization.base import QuantizationMethod
+
+
+@dataclass(frozen=True)
+class QuantizedEvaluation:
+    """Accuracy of one quantized configuration against its FP32 reference.
+
+    Attributes:
+        method_key: registry key of the quantization method used.
+        activation_bits / weight_bits / bias_bits: integer widths used.
+        fp32_accuracy: accuracy of the original FP32 model.
+        quantized_accuracy: accuracy of the quantized model.
+    """
+
+    method_key: str
+    activation_bits: int
+    weight_bits: int
+    bias_bits: int
+    fp32_accuracy: float
+    quantized_accuracy: float
+
+    @property
+    def accuracy_loss_percent(self) -> float:
+        """Accuracy loss in absolute percentage points (paper's metric)."""
+        return (self.fp32_accuracy - self.quantized_accuracy) * 100.0
+
+
+def evaluate_fp32(model: Model, x_test: np.ndarray, y_test: np.ndarray) -> float:
+    """Top-1 accuracy of the FP32 model."""
+    return model.accuracy(x_test, y_test)
+
+
+def quantize_and_evaluate(
+    model: Model,
+    method: QuantizationMethod,
+    activation_bits: int,
+    weight_bits: int,
+    calibration_data: np.ndarray,
+    x_test: np.ndarray,
+    y_test: np.ndarray,
+    bias_bits: int | None = None,
+    fp32_accuracy: float | None = None,
+    fault_injector: MsbBitFlipInjector | None = None,
+    per_channel: bool = True,
+) -> QuantizedEvaluation:
+    """Quantize ``model`` with ``method`` and measure its test accuracy.
+
+    The bias width defaults to ``activation_bits + weight_bits`` which, for
+    the paper's (α, β) compression of an 8/8/16-bit MAC datapath, equals
+    ``16 - α - β``.
+    """
+    if fp32_accuracy is None:
+        fp32_accuracy = evaluate_fp32(model, x_test, y_test)
+    quantized = QuantizedModel.build(
+        model,
+        method=method,
+        activation_bits=activation_bits,
+        weight_bits=weight_bits,
+        bias_bits=bias_bits,
+        calibration_data=calibration_data,
+        per_channel=per_channel,
+        fault_injector=fault_injector,
+    )
+    accuracy = quantized.accuracy(x_test, y_test)
+    return QuantizedEvaluation(
+        method_key=method.key,
+        activation_bits=activation_bits,
+        weight_bits=weight_bits,
+        bias_bits=bias_bits if bias_bits is not None else activation_bits + weight_bits,
+        fp32_accuracy=fp32_accuracy,
+        quantized_accuracy=accuracy,
+    )
+
+
+def evaluate_with_fault_injection(
+    model: Model,
+    method: QuantizationMethod,
+    calibration_data: np.ndarray,
+    x_test: np.ndarray,
+    y_test: np.ndarray,
+    flip_probability: float,
+    repetitions: int = 3,
+    activation_bits: int = 8,
+    weight_bits: int = 8,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Average accuracy of an 8-bit model whose multiplications are faulty.
+
+    This reproduces the Fig. 1b methodology: the model runs with baseline
+    8-bit quantization while each multiplication flips one of its two MSBs
+    with ``flip_probability``; the experiment is repeated and averaged.
+
+    Returns:
+        ``(mean_accuracy, std_accuracy)`` over the repetitions.
+    """
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    quantized = QuantizedModel.build(
+        model,
+        method=method,
+        activation_bits=activation_bits,
+        weight_bits=weight_bits,
+        calibration_data=calibration_data,
+    )
+    accuracies = []
+    for repetition in range(repetitions):
+        injector = MsbBitFlipInjector(
+            probability=flip_probability, rng=seed * 1000 + repetition
+        )
+        quantized.set_fault_injector(injector)
+        accuracies.append(quantized.accuracy(x_test, y_test))
+    quantized.set_fault_injector(None)
+    return float(np.mean(accuracies)), float(np.std(accuracies))

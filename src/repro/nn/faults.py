@@ -1,0 +1,110 @@
+"""Fault injection into MAC multiplications.
+
+The paper estimates the accuracy impact of aging-induced timing errors by
+flipping one of the two most significant bits of multiplier outputs with a
+given probability (Fig. 1b): post-synthesis timing simulation of millions of
+multiplications per inference is infeasible, so errors are injected at the
+software level instead.
+
+:class:`MsbBitFlipInjector` implements that model for the integer execution
+path: each unsigned product ``q_a * q_w`` computed by the (8x8) multiplier
+is hit independently with probability ``probability``; a hit flips one
+randomly chosen bit among ``msb_bits``.  Instead of materialising every
+product, the injector samples the number of hits from the exact binomial
+distribution and scatter-adds the corresponding value deltas into the
+accumulator matrix, which keeps the NumPy inference fast while remaining
+statistically faithful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+
+@dataclass
+class MsbBitFlipInjector:
+    """Random MSB bit-flip injector for MAC products.
+
+    Attributes:
+        probability: per-multiplication probability of a bit flip.
+        msb_bits: candidate bit positions (LSB-first indices into the
+            product word); the paper uses the two MSBs of the 16-bit product.
+        product_bits: width of the multiplier output word.
+        rng: seed or generator for the random fault locations.
+        max_events_per_call: safety cap on the number of injected faults per
+            call (prevents pathological memory use if the caller passes an
+            enormous probability and operand count).
+    """
+
+    probability: float
+    msb_bits: tuple[int, ...] = (14, 15)
+    product_bits: int = 16
+    rng: "int | np.random.Generator | None" = None
+    max_events_per_call: int = 5_000_000
+    _generator: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if not self.msb_bits:
+            raise ValueError("msb_bits must not be empty")
+        if any(bit < 0 or bit >= self.product_bits for bit in self.msb_bits):
+            raise ValueError("msb_bits must lie inside the product word")
+        self._generator = make_rng(self.rng)
+
+    def reseed(self, rng: "int | np.random.Generator | None") -> None:
+        """Replace the internal random stream (used for repeated trials)."""
+        self._generator = make_rng(rng)
+
+    def accumulation_deltas(
+        self, q_activations: np.ndarray, q_weights: np.ndarray
+    ) -> np.ndarray | None:
+        """Value deltas to add to the accumulator matrix ``q_a @ q_w``.
+
+        Args:
+            q_activations: unsigned activation codes, shape (M, K).
+            q_weights: unsigned weight codes, shape (K, N).
+
+        Returns:
+            A dense (M, N) array of deltas, or ``None`` when no fault was
+            sampled (so callers can skip the addition).
+        """
+        if self.probability == 0.0:
+            return None
+        if q_activations.ndim != 2 or q_weights.ndim != 2:
+            raise ValueError("expected 2-D operand matrices")
+        rows, inner = q_activations.shape
+        inner_w, cols = q_weights.shape
+        if inner != inner_w:
+            raise ValueError(
+                f"operand shapes do not align: {q_activations.shape} @ {q_weights.shape}"
+            )
+        total_products = rows * inner * cols
+        if total_products == 0:
+            return None
+        num_events = int(self._generator.binomial(total_products, self.probability))
+        if num_events == 0:
+            return None
+        num_events = min(num_events, self.max_events_per_call)
+
+        flat_indices = self._generator.integers(0, total_products, size=num_events)
+        i = flat_indices // (inner * cols)
+        remainder = flat_indices % (inner * cols)
+        k = remainder // cols
+        j = remainder % cols
+        products = q_activations[i, k].astype(np.int64) * q_weights[k, j].astype(np.int64)
+        bits = self._generator.choice(np.array(self.msb_bits), size=num_events)
+        bit_values = (products >> bits) & 1
+        deltas_values = np.where(bit_values == 1, -(1 << bits), (1 << bits)).astype(np.float64)
+
+        deltas = np.zeros((rows, cols), dtype=np.float64)
+        np.add.at(deltas, (i, j), deltas_values)
+        return deltas
+
+    def expected_faults(self, num_products: int) -> float:
+        """Expected number of injected faults over ``num_products`` MACs."""
+        return self.probability * num_products

@@ -1,0 +1,32 @@
+"""Training losses."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import one_hot, softmax
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray, label_smoothing: float = 0.0
+) -> tuple[float, np.ndarray]:
+    """Mean softmax cross-entropy loss and its gradient w.r.t. the logits.
+
+    Args:
+        logits: (N, num_classes) raw scores.
+        labels: (N,) integer class labels.
+        label_smoothing: optional smoothing factor in [0, 1).
+    """
+    if logits.ndim != 2:
+        raise ValueError(f"expected (N, C) logits, got shape {logits.shape}")
+    if not 0.0 <= label_smoothing < 1.0:
+        raise ValueError("label_smoothing must be in [0, 1)")
+    num_classes = logits.shape[1]
+    targets = one_hot(labels, num_classes)
+    if label_smoothing > 0.0:
+        targets = targets * (1.0 - label_smoothing) + label_smoothing / num_classes
+    probabilities = softmax(logits)
+    eps = 1e-12
+    loss = float(-(targets * np.log(probabilities + eps)).sum(axis=1).mean())
+    grad = (probabilities - targets) / logits.shape[0]
+    return loss, grad

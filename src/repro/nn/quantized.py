@@ -1,0 +1,304 @@
+"""Integer (quantized) execution of trained models.
+
+This module turns an FP32 :class:`~repro.nn.model.Model` into the integer
+inference the paper's NPU performs:
+
+* activations are quantized to ``8-α`` bits, weights to ``8-β`` bits and
+  biases to ``16-α-β`` bits (per Section V of the paper),
+* every convolution / dense layer computes the raw unsigned products
+  ``q_a * q_w`` — exactly what the 8-bit MAC multiplier produces — followed
+  by the zero-point corrections and rescaling,
+* an optional :class:`~repro.nn.faults.MsbBitFlipInjector` perturbs those
+  raw products to model aging-induced timing errors of an unprotected NPU.
+
+The quantization *method* (M1..M5) only decides the clipping ranges; the
+execution path is identical for all methods, so accuracy differences are
+attributable to the range/bias-correction choices alone, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.faults import MsbBitFlipInjector
+from repro.nn.layers import Layer
+from repro.nn.model import Model
+from repro.quantization.aciq import corrected_weight_params
+from repro.quantization.base import QuantizationMethod, QuantParams
+from repro.utils.rng import make_rng
+
+
+@dataclass
+class LayerQuantization:
+    """Frozen quantization data of one convolution/dense layer.
+
+    Attributes:
+        activation: parameters of the layer's input activations.
+        weight_encode: grid used to produce the integer weight codes.
+        weight_decode: parameters used to interpret the codes (differs from
+            ``weight_encode`` only when bias correction is applied).
+        quantized_weights: unsigned integer weight codes, shape (N, K).
+        quantized_bias: integer bias codes at the accumulator scale.
+        bias_scale: per-output-channel scale of the accumulator
+            (``s_a * s_w``).
+    """
+
+    activation: QuantParams
+    weight_encode: QuantParams
+    weight_decode: QuantParams
+    quantized_weights: np.ndarray
+    quantized_bias: np.ndarray
+    bias_scale: np.ndarray
+
+
+class QuantizationContext:
+    """Holds per-layer quantization state and executes the integer MACs.
+
+    The context runs in two phases.  In the calibration phase the model is
+    executed in FP32 while the context records a sample of each quantizable
+    layer's input activations and a reference to its weights.  After
+    :meth:`finalize` the context switches to the run phase, where
+    :meth:`linear` performs the integer computation.
+    """
+
+    def __init__(
+        self,
+        method: QuantizationMethod,
+        activation_bits: int,
+        weight_bits: int,
+        bias_bits: int | None = None,
+        per_channel: bool = True,
+        fault_injector: MsbBitFlipInjector | None = None,
+        max_calibration_values: int = 16384,
+        calibration_rng: "int | np.random.Generator | None" = 0,
+    ) -> None:
+        if activation_bits < 1 or weight_bits < 1:
+            raise ValueError("activation_bits and weight_bits must be >= 1")
+        self.method = method
+        self.activation_bits = activation_bits
+        self.weight_bits = weight_bits
+        self.bias_bits = bias_bits if bias_bits is not None else activation_bits + weight_bits
+        if self.bias_bits < 1:
+            raise ValueError("bias_bits must be >= 1")
+        self.per_channel = per_channel
+        self.fault_injector = fault_injector
+        self.max_calibration_values = max_calibration_values
+        self.layer_params: dict[str, LayerQuantization] = {}
+        self._observations: dict[str, np.ndarray] = {}
+        self._layer_tensors: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        self._calibrating = True
+        self._calibration_rng = make_rng(calibration_rng)
+
+    # ------------------------------------------------------------------ state
+    @property
+    def is_calibrating(self) -> bool:
+        return self._calibrating
+
+    def finalize(self) -> None:
+        """Compute every layer's quantization parameters and switch to run mode."""
+        if not self._calibrating:
+            return
+        if not self._observations:
+            raise RuntimeError(
+                "no calibration data observed; run the model on calibration "
+                "inputs via forward_quantized before finalizing"
+            )
+        for layer_name, samples in self._observations.items():
+            weights, bias = self._layer_tensors[layer_name]
+            self.layer_params[layer_name] = self._build_layer_quantization(
+                samples, weights, bias
+            )
+        self._calibrating = False
+        self._observations.clear()
+        self._layer_tensors.clear()
+
+    def _build_layer_quantization(
+        self, activation_samples: np.ndarray, weights: np.ndarray, bias: np.ndarray
+    ) -> LayerQuantization:
+        activation = self.method.activation_params(activation_samples, self.activation_bits)
+        weight_encode = self.method.weight_params(
+            weights, self.weight_bits, per_channel=self.per_channel, channel_axis=0
+        )
+        if self.method.wants_bias_correction and weights.ndim > 1:
+            weight_decode = corrected_weight_params(weights, weight_encode, channel_axis=0)
+        else:
+            weight_decode = weight_encode
+        quantized_weights = weight_encode.quantize(weights)
+
+        activation_scale = float(np.asarray(activation.scale).reshape(-1)[0])
+        weight_scale = np.broadcast_to(
+            np.asarray(weight_decode.scale, dtype=np.float64), (weights.shape[0],)
+        )
+        bias_scale = activation_scale * weight_scale
+        bias_limit = 1 << (self.bias_bits - 1) if self.bias_bits > 1 else 1
+        quantized_bias = np.clip(
+            np.round(bias / bias_scale), -bias_limit, bias_limit - 1
+        )
+        return LayerQuantization(
+            activation=activation,
+            weight_encode=weight_encode,
+            weight_decode=weight_decode,
+            quantized_weights=quantized_weights,
+            quantized_bias=quantized_bias,
+            bias_scale=bias_scale,
+        )
+
+    # -------------------------------------------------------------- execution
+    def linear(
+        self,
+        layer: Layer,
+        inputs: np.ndarray,
+        weights: np.ndarray,
+        bias: np.ndarray,
+    ) -> np.ndarray:
+        """Quantized affine transform ``inputs @ weights.T + bias``.
+
+        ``inputs`` is the (M, K) FP32 operand matrix (im2col columns for a
+        convolution, features for a dense layer), ``weights`` the (N, K)
+        FP32 weight matrix.  During calibration the FP32 result is returned
+        and the operands recorded; afterwards the integer path runs.
+        """
+        weights = weights.reshape(weights.shape[0], -1)
+        if self._calibrating:
+            self._observe(layer.name, inputs, weights, bias)
+            return inputs @ weights.T + bias
+        try:
+            params = self.layer_params[layer.name]
+        except KeyError:
+            raise KeyError(
+                f"layer {layer.name!r} has no quantization parameters; "
+                "was the context calibrated on this model?"
+            ) from None
+        return self._integer_linear(inputs, params)
+
+    def _observe(
+        self, layer_name: str, inputs: np.ndarray, weights: np.ndarray, bias: np.ndarray
+    ) -> None:
+        flat = np.asarray(inputs, dtype=np.float64).ravel()
+        if flat.size > self.max_calibration_values:
+            chosen = self._calibration_rng.choice(
+                flat.size, size=self.max_calibration_values, replace=False
+            )
+            flat = flat[chosen]
+        if layer_name in self._observations:
+            existing = self._observations[layer_name]
+            combined = np.concatenate([existing, flat])
+            if combined.size > self.max_calibration_values:
+                chosen = self._calibration_rng.choice(
+                    combined.size, size=self.max_calibration_values, replace=False
+                )
+                combined = combined[chosen]
+            self._observations[layer_name] = combined
+        else:
+            self._observations[layer_name] = flat
+        self._layer_tensors[layer_name] = (
+            np.asarray(weights, dtype=np.float64),
+            np.asarray(bias, dtype=np.float64),
+        )
+
+    def _integer_linear(self, inputs: np.ndarray, params: LayerQuantization) -> np.ndarray:
+        # Integer codes (held in float64 for exact, BLAS-accelerated matmul).
+        q_activations = params.activation.quantize(inputs).astype(np.float64)
+        q_weights = params.quantized_weights.astype(np.float64).T  # (K, N)
+        inner = q_activations.shape[1]
+
+        raw = q_activations @ q_weights  # the unsigned MAC products, accumulated
+        if self.fault_injector is not None:
+            deltas = self.fault_injector.accumulation_deltas(q_activations, q_weights)
+            if deltas is not None:
+                raw = raw + deltas
+
+        activation_zero = float(np.asarray(params.activation.zero_point).reshape(-1)[0])
+        activation_scale = float(np.asarray(params.activation.scale).reshape(-1)[0])
+        weight_zero = np.broadcast_to(
+            np.asarray(params.weight_decode.zero_point, dtype=np.float64),
+            (params.quantized_weights.shape[0],),
+        )
+        weight_scale = np.broadcast_to(
+            np.asarray(params.weight_decode.scale, dtype=np.float64),
+            (params.quantized_weights.shape[0],),
+        )
+
+        row_sums = q_activations.sum(axis=1, keepdims=True)  # (M, 1)
+        col_sums = params.quantized_weights.astype(np.float64).sum(axis=1)  # (N,)
+        accumulator = (
+            raw
+            - row_sums * weight_zero[None, :]
+            - activation_zero * col_sums[None, :]
+            + inner * activation_zero * weight_zero[None, :]
+        )
+        accumulator = accumulator + params.quantized_bias[None, :]
+        return activation_scale * weight_scale[None, :] * accumulator
+
+
+class QuantizedModel:
+    """A frozen quantized view of an FP32 model.
+
+    Use :meth:`build` to calibrate and construct; afterwards the object
+    behaves like a read-only classifier (``forward`` / ``predict`` /
+    ``accuracy``) running on the integer MAC path.
+    """
+
+    def __init__(self, model: Model, context: QuantizationContext) -> None:
+        if context.is_calibrating:
+            raise ValueError("the quantization context must be finalized first")
+        self.model = model
+        self.context = context
+
+    @classmethod
+    def build(
+        cls,
+        model: Model,
+        method: QuantizationMethod,
+        activation_bits: int,
+        weight_bits: int,
+        calibration_data: np.ndarray,
+        bias_bits: int | None = None,
+        per_channel: bool = True,
+        fault_injector: MsbBitFlipInjector | None = None,
+        calibration_batch_size: int = 64,
+    ) -> "QuantizedModel":
+        """Calibrate ``model`` with ``method`` and freeze the integer view."""
+        context = QuantizationContext(
+            method=method,
+            activation_bits=activation_bits,
+            weight_bits=weight_bits,
+            bias_bits=bias_bits,
+            per_channel=per_channel,
+            fault_injector=fault_injector,
+        )
+        for start in range(0, calibration_data.shape[0], calibration_batch_size):
+            model.forward_quantized(
+                calibration_data[start : start + calibration_batch_size], context
+            )
+        context.finalize()
+        return cls(model, context)
+
+    # -------------------------------------------------------------- inference
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.model.forward_quantized(x, self.context)
+
+    def predict_logits(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        outputs = []
+        for start in range(0, x.shape[0], batch_size):
+            outputs.append(self.forward(x[start : start + batch_size]))
+        return np.concatenate(outputs, axis=0)
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        return self.predict_logits(x, batch_size).argmax(axis=1)
+
+    def accuracy(self, x: np.ndarray, labels: np.ndarray, batch_size: int = 256) -> float:
+        """Top-1 accuracy of the quantized model."""
+        predictions = self.predict(x, batch_size)
+        return float((predictions == np.asarray(labels)).mean())
+
+    # ---------------------------------------------------------------- faults
+    def set_fault_injector(self, injector: MsbBitFlipInjector | None) -> None:
+        """Attach (or remove) a multiplication fault injector."""
+        self.context.fault_injector = injector
+
+    @property
+    def fault_injector(self) -> MsbBitFlipInjector | None:
+        return self.context.fault_injector

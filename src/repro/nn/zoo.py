@@ -1,0 +1,331 @@
+"""Synthetic model zoo mirroring the paper's evaluated architectures.
+
+The paper evaluates ten ImageNet networks (three ResNets, three VGGs,
+AlexNet, SqueezeNet 1.1 and two Wide ResNets) plus three CIFAR-style ResNets
+for the error-injection study of Fig. 1b.  Offline we cannot load
+torchvision checkpoints, so the zoo provides small NumPy architectures in
+the same styles, trained on the synthetic dataset:
+
+* the *relative* characteristics are preserved (deeper variants of a family
+  are larger, Wide ResNets are wider, SqueezeNet is the most compressed and
+  hence the most quantization-sensitive),
+* every model exposes exactly the layer types the quantized execution path
+  supports, so the whole Table 1 / Fig. 4b study runs end-to-end.
+
+Trained models are cached on disk (``~/.cache/repro-aging-npu`` by default,
+override with the ``REPRO_CACHE_DIR`` environment variable) so repeated
+experiment runs do not retrain.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.blocks import ResidualBlock
+from repro.nn.datasets import SyntheticImageDataset
+from repro.nn.layers import Conv2D, Dense, Flatten, GlobalAvgPool2D, MaxPool2D, ReLU
+from repro.nn.model import Model
+from repro.nn.training import SGDTrainer, TrainingHistory
+from repro.utils.rng import derive_rng
+
+#: The ten networks of the paper's Table 1, in the paper's row order.
+TABLE1_NETWORKS: tuple[str, ...] = (
+    "resnet50",
+    "resnet101",
+    "resnet152",
+    "vgg13",
+    "vgg16",
+    "vgg19",
+    "alexnet",
+    "squeezenet",
+    "wide_resnet50",
+    "wide_resnet101",
+)
+
+#: The three CIFAR-style ResNets of the paper's Fig. 1b.
+FIG1B_NETWORKS: tuple[str, ...] = ("resnet20", "resnet32", "resnet44")
+
+#: Paper-facing display names used by the experiment reports.
+DISPLAY_NAMES: dict[str, str] = {
+    "resnet20": "ResNet20",
+    "resnet32": "ResNet32",
+    "resnet44": "ResNet44",
+    "resnet50": "ResNet50",
+    "resnet101": "ResNet101",
+    "resnet152": "ResNet152",
+    "vgg13": "VGG13",
+    "vgg16": "VGG16",
+    "vgg19": "VGG19",
+    "alexnet": "Alexnet",
+    "squeezenet": "SqueezeNet 1.1",
+    "wide_resnet50": "Wide ResNet50",
+    "wide_resnet101": "Wide ResNet101",
+}
+
+
+def _resnet(
+    name: str,
+    stem_channels: int,
+    block_plan: list[tuple[int, int]],
+    num_classes: int,
+    channels: int,
+    rng,
+) -> Model:
+    """Generic ResNet-style builder.
+
+    ``block_plan`` is a list of ``(out_channels, stride)`` residual blocks.
+    """
+    layers = [
+        Conv2D(channels, stem_channels, kernel_size=3, rng=derive_rng(rng, f"{name}-stem")),
+        ReLU(),
+    ]
+    in_channels = stem_channels
+    for index, (out_channels, stride) in enumerate(block_plan):
+        layers.append(
+            ResidualBlock(
+                in_channels, out_channels, stride=stride, rng=derive_rng(rng, f"{name}-block{index}")
+            )
+        )
+        in_channels = out_channels
+    layers.extend([GlobalAvgPool2D(), Dense(in_channels, num_classes, rng=derive_rng(rng, f"{name}-fc"))])
+    return Model(layers, name=name, num_classes=num_classes)
+
+
+def _vgg(
+    name: str,
+    stage_plan: list[tuple[int, int]],
+    hidden_units: int,
+    num_classes: int,
+    channels: int,
+    image_size: int,
+    rng,
+) -> Model:
+    """Generic VGG-style builder.
+
+    ``stage_plan`` is a list of ``(num_convs, out_channels)`` stages, each
+    followed by a 2x2 max pooling.
+    """
+    layers: list = []
+    in_channels = channels
+    spatial = image_size
+    for stage_index, (num_convs, out_channels) in enumerate(stage_plan):
+        for conv_index in range(num_convs):
+            layers.append(
+                Conv2D(
+                    in_channels,
+                    out_channels,
+                    kernel_size=3,
+                    rng=derive_rng(rng, f"{name}-s{stage_index}c{conv_index}"),
+                )
+            )
+            layers.append(ReLU())
+            in_channels = out_channels
+        layers.append(MaxPool2D(2))
+        spatial //= 2
+    layers.append(Flatten())
+    flat_features = in_channels * spatial * spatial
+    layers.extend(
+        [
+            Dense(flat_features, hidden_units, rng=derive_rng(rng, f"{name}-fc1")),
+            ReLU(),
+            Dense(hidden_units, num_classes, rng=derive_rng(rng, f"{name}-fc2")),
+        ]
+    )
+    return Model(layers, name=name, num_classes=num_classes)
+
+
+def _alexnet(name: str, num_classes: int, channels: int, image_size: int, rng) -> Model:
+    layers = [
+        Conv2D(channels, 16, kernel_size=5, padding=2, rng=derive_rng(rng, f"{name}-c1")),
+        ReLU(),
+        MaxPool2D(2),
+        Conv2D(16, 32, kernel_size=3, rng=derive_rng(rng, f"{name}-c2")),
+        ReLU(),
+        MaxPool2D(2),
+        Conv2D(32, 32, kernel_size=3, rng=derive_rng(rng, f"{name}-c3")),
+        ReLU(),
+        Flatten(),
+    ]
+    spatial = image_size // 4
+    layers.extend(
+        [
+            Dense(32 * spatial * spatial, 64, rng=derive_rng(rng, f"{name}-fc1")),
+            ReLU(),
+            Dense(64, num_classes, rng=derive_rng(rng, f"{name}-fc2")),
+        ]
+    )
+    return Model(layers, name=name, num_classes=num_classes)
+
+
+def _squeezenet(name: str, num_classes: int, channels: int, rng) -> Model:
+    """SqueezeNet-style network: aggressively reduced channel budget.
+
+    The hallmark of SqueezeNet that matters for the paper — a heavily
+    compressed parameter budget with 1x1 "squeeze" layers, making it the most
+    quantization-sensitive network of the zoo — is kept.  A stack of true
+    fire modules (see :class:`~repro.nn.blocks.FireModule`) turned out to be
+    untrainable at this tiny scale without batch normalisation, so the zoo
+    entry uses squeeze (1x1) convolutions between narrow 3x3 stages instead.
+    """
+    layers = [
+        Conv2D(channels, 12, kernel_size=3, rng=derive_rng(rng, f"{name}-stem")),
+        ReLU(),
+        MaxPool2D(2),
+        Conv2D(12, 6, kernel_size=1, padding=0, rng=derive_rng(rng, f"{name}-squeeze1")),
+        ReLU(),
+        Conv2D(6, 12, kernel_size=3, rng=derive_rng(rng, f"{name}-expand1")),
+        ReLU(),
+        MaxPool2D(2),
+        Conv2D(12, 8, kernel_size=1, padding=0, rng=derive_rng(rng, f"{name}-squeeze2")),
+        ReLU(),
+        Conv2D(8, 16, kernel_size=3, rng=derive_rng(rng, f"{name}-expand2")),
+        ReLU(),
+        GlobalAvgPool2D(),
+        Dense(16, num_classes, rng=derive_rng(rng, f"{name}-classifier")),
+    ]
+    return Model(layers, name=name, num_classes=num_classes)
+
+
+def build_model(
+    name: str,
+    num_classes: int = 10,
+    image_size: int = 16,
+    channels: int = 3,
+    rng: "int | np.random.Generator | None" = None,
+) -> Model:
+    """Instantiate a zoo architecture by name (untrained)."""
+    rng = derive_rng(rng, f"zoo-{name}")
+    builders = {
+        # Fig. 1b CIFAR-style ResNets (increasing depth).
+        "resnet20": lambda: _resnet(name, 12, [(12, 1), (24, 2)], num_classes, channels, rng),
+        "resnet32": lambda: _resnet(name, 12, [(12, 1), (24, 2), (24, 1)], num_classes, channels, rng),
+        "resnet44": lambda: _resnet(
+            name, 12, [(12, 1), (24, 2), (24, 1), (32, 2)], num_classes, channels, rng
+        ),
+        # Table 1 ResNets.
+        "resnet50": lambda: _resnet(name, 16, [(16, 1), (32, 2)], num_classes, channels, rng),
+        "resnet101": lambda: _resnet(name, 16, [(16, 1), (32, 2), (32, 1)], num_classes, channels, rng),
+        "resnet152": lambda: _resnet(
+            name, 16, [(16, 1), (32, 2), (32, 1), (48, 2)], num_classes, channels, rng
+        ),
+        "wide_resnet50": lambda: _resnet(name, 32, [(32, 1), (48, 2)], num_classes, channels, rng),
+        "wide_resnet101": lambda: _resnet(
+            name, 32, [(32, 1), (48, 2), (48, 1)], num_classes, channels, rng
+        ),
+        # VGG family.
+        "vgg13": lambda: _vgg(name, [(2, 16), (2, 32)], 64, num_classes, channels, image_size, rng),
+        "vgg16": lambda: _vgg(
+            name, [(2, 16), (2, 32), (2, 48)], 64, num_classes, channels, image_size, rng
+        ),
+        "vgg19": lambda: _vgg(
+            name, [(2, 16), (3, 32), (3, 48)], 64, num_classes, channels, image_size, rng
+        ),
+        # Others.
+        "alexnet": lambda: _alexnet(name, num_classes, channels, image_size, rng),
+        "squeezenet": lambda: _squeezenet(name, num_classes, channels, rng),
+    }
+    try:
+        return builders[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown architecture {name!r}; available: {sorted(builders)}"
+        ) from None
+
+
+def available_architectures() -> tuple[str, ...]:
+    """Names of all architectures the zoo can build."""
+    return tuple(sorted(set(TABLE1_NETWORKS) | set(FIG1B_NETWORKS)))
+
+
+def display_name(name: str) -> str:
+    """Paper-facing display name of an architecture."""
+    return DISPLAY_NAMES.get(name, name)
+
+
+# --------------------------------------------------------------------- cache
+@dataclass
+class PretrainedModel:
+    """A trained zoo model together with its provenance."""
+
+    model: Model
+    fp32_accuracy: float
+    history: TrainingHistory | None
+    from_cache: bool
+
+
+def default_cache_dir() -> Path:
+    """Directory used to cache trained zoo models."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-aging-npu"
+
+
+def _cache_fingerprint(
+    name: str, dataset: SyntheticImageDataset, trainer: SGDTrainer, seed: int
+) -> str:
+    payload = {
+        "name": name,
+        "num_classes": dataset.num_classes,
+        "image_size": dataset.image_size,
+        "channels": dataset.channels,
+        "train_samples": int(dataset.x_train.shape[0]),
+        "test_samples": int(dataset.x_test.shape[0]),
+        "data_checksum": float(np.round(float(np.abs(dataset.x_train).sum()), 3)),
+        "trainer": {
+            "learning_rate": trainer.learning_rate,
+            "momentum": trainer.momentum,
+            "weight_decay": trainer.weight_decay,
+            "batch_size": trainer.batch_size,
+            "epochs": trainer.epochs,
+        },
+        "seed": seed,
+    }
+    return hashlib.sha256(json.dumps(payload, sort_keys=True).encode("utf-8")).hexdigest()[:16]
+
+
+def get_pretrained(
+    name: str,
+    dataset: SyntheticImageDataset,
+    trainer: SGDTrainer | None = None,
+    seed: int = 0,
+    cache_dir: "str | Path | None" = None,
+    force_retrain: bool = False,
+    verbose: bool = False,
+) -> PretrainedModel:
+    """Return a trained zoo model, training and caching it if necessary."""
+    trainer = trainer or SGDTrainer()
+    cache_root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    fingerprint = _cache_fingerprint(name, dataset, trainer, seed)
+    cache_path = cache_root / f"{name}-{fingerprint}.npz"
+
+    model = build_model(
+        name,
+        num_classes=dataset.num_classes,
+        image_size=dataset.image_size,
+        channels=dataset.channels,
+        rng=seed,
+    )
+    if cache_path.exists() and not force_retrain:
+        model.load(cache_path)
+        accuracy = model.accuracy(dataset.x_test, dataset.y_test)
+        return PretrainedModel(model=model, fp32_accuracy=accuracy, history=None, from_cache=True)
+
+    history = trainer.fit(
+        model,
+        dataset.x_train,
+        dataset.y_train,
+        x_val=dataset.x_test,
+        y_val=dataset.y_test,
+        rng=derive_rng(seed, f"train-{name}"),
+        verbose=verbose,
+    )
+    accuracy = model.accuracy(dataset.x_test, dataset.y_test)
+    model.save(cache_path)
+    return PretrainedModel(model=model, fp32_accuracy=accuracy, history=history, from_cache=False)

@@ -1,0 +1,19 @@
+"""NPU (systolic-array) performance model.
+
+The paper's context is an Edge-TPU-style NPU: a 64x64 systolic array of the
+MAC units analysed by the circuit substrate.  The NPU model translates the
+MAC-level clock period (from STA, with or without guardbands and input
+compression) into inference-level latency and throughput numbers, which is
+how the paper's "23 % higher performance" headline is obtained.
+"""
+
+from repro.npu.systolic import LayerWorkload, SystolicArray, model_workloads
+from repro.npu.performance import NpuPerformanceModel, InferenceLatency
+
+__all__ = [
+    "LayerWorkload",
+    "SystolicArray",
+    "model_workloads",
+    "NpuPerformanceModel",
+    "InferenceLatency",
+]

@@ -1,0 +1,77 @@
+"""Inference-level performance accounting.
+
+Couples the systolic-array cycle model with the MAC clock period obtained
+from STA.  Because every processing element of the array is the same MAC
+unit, the array's clock is set by the MAC critical path — with a guardband
+for the unprotected baseline, without one when the paper's aging-aware
+quantization is applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.npu.systolic import LayerWorkload, SystolicArray
+
+
+@dataclass(frozen=True)
+class InferenceLatency:
+    """Latency/throughput of one inference at a given MAC clock period."""
+
+    cycles: int
+    clock_period_ps: float
+
+    @property
+    def latency_us(self) -> float:
+        return self.cycles * self.clock_period_ps * 1e-6
+
+    @property
+    def throughput_inferences_per_second(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return 1e12 / (self.cycles * self.clock_period_ps)
+
+
+class NpuPerformanceModel:
+    """Translate MAC clock periods into NPU inference performance."""
+
+    def __init__(self, array: SystolicArray | None = None) -> None:
+        self.array = array or SystolicArray()
+
+    def inference_latency(
+        self, workloads: list[LayerWorkload], clock_period_ps: float
+    ) -> InferenceLatency:
+        """Latency of one inference at ``clock_period_ps`` per MAC cycle."""
+        if clock_period_ps <= 0:
+            raise ValueError("clock_period_ps must be positive")
+        return InferenceLatency(
+            cycles=self.array.total_cycles(workloads), clock_period_ps=clock_period_ps
+        )
+
+    def speedup(
+        self,
+        workloads: list[LayerWorkload],
+        baseline_period_ps: float,
+        optimized_period_ps: float,
+    ) -> float:
+        """Speedup of the optimized clock over the baseline clock.
+
+        With a fixed cycle count the speedup equals the period ratio; the
+        method still takes the workloads so callers can extend the model
+        (e.g. memory-bound corrections) without changing call sites.
+        """
+        baseline = self.inference_latency(workloads, baseline_period_ps)
+        optimized = self.inference_latency(workloads, optimized_period_ps)
+        return baseline.latency_us / optimized.latency_us
+
+    @staticmethod
+    def guardband_performance_loss_percent(guardband_fraction: float) -> float:
+        """Throughput loss caused by a timing guardband of the given fraction.
+
+        A guardband stretches the clock period by ``1 + g``; the paper
+        reports the corresponding performance loss as the relative delay
+        increase (23 % for the 10-year guardband).
+        """
+        if guardband_fraction < 0:
+            raise ValueError("guardband_fraction must be non-negative")
+        return guardband_fraction * 100.0

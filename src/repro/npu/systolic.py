@@ -1,0 +1,128 @@
+"""Weight-stationary systolic-array cycle model.
+
+The model follows the standard analytical treatment of TPU-style arrays:
+a convolution/dense layer is lowered to a matrix multiplication
+``(M x K) @ (K x N)`` (im2col), the weight matrix is partitioned into
+``rows x cols`` tiles that are loaded into the array, and each tile streams
+its ``M`` operand rows through the array with a pipeline fill/drain overhead
+of ``rows + cols`` cycles.  Absolute cycle counts are therefore first-order
+estimates, but the *ratio* between configurations — all that the paper's
+normalized results need — only depends on the MAC clock period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.layers import Conv2D, Dense
+from repro.nn.model import Model
+
+
+@dataclass(frozen=True)
+class LayerWorkload:
+    """The GEMM workload of one network layer.
+
+    Attributes:
+        name: layer name inside the model.
+        rows: number of operand rows ``M`` (output spatial positions).
+        inner: reduction dimension ``K``.
+        cols: number of output channels ``N``.
+    """
+
+    name: str
+    rows: int
+    inner: int
+    cols: int
+
+    @property
+    def macs(self) -> int:
+        """Total multiply-accumulate operations of the layer."""
+        return self.rows * self.inner * self.cols
+
+
+def model_workloads(model: Model, input_shape: tuple[int, int, int]) -> list[LayerWorkload]:
+    """Extract the GEMM workload of every Conv2D/Dense layer in ``model``.
+
+    Args:
+        model: the network to analyse.
+        input_shape: (C, H, W) shape of one input sample.
+    """
+    workloads: list[LayerWorkload] = []
+    shape = input_shape
+
+    def visit(layer, shape):
+        from repro.nn.blocks import FireModule, ResidualBlock
+        from repro.nn.layers import Flatten, GlobalAvgPool2D, MaxPool2D
+
+        if isinstance(layer, Conv2D):
+            out_shape = layer.output_shape(shape)
+            workloads.append(
+                LayerWorkload(
+                    name=layer.name,
+                    rows=out_shape[1] * out_shape[2],
+                    inner=layer.in_channels * layer.kernel_size * layer.kernel_size,
+                    cols=layer.out_channels,
+                )
+            )
+            return out_shape
+        if isinstance(layer, Dense):
+            workloads.append(
+                LayerWorkload(name=layer.name, rows=1, inner=layer.in_features, cols=layer.out_features)
+            )
+            return (layer.out_features, 1, 1)
+        if isinstance(layer, MaxPool2D):
+            return (shape[0], shape[1] // layer.pool_size, shape[2] // layer.pool_size)
+        if isinstance(layer, (GlobalAvgPool2D, Flatten)):
+            return (shape[0] * shape[1] * shape[2], 1, 1)
+        if isinstance(layer, ResidualBlock):
+            main_shape = visit(layer.conv1, shape)
+            main_shape = visit(layer.conv2, main_shape)
+            if layer.shortcut is not None:
+                visit(layer.shortcut, shape)
+            return main_shape
+        if isinstance(layer, FireModule):
+            squeezed = visit(layer.squeeze, shape)
+            expand1 = visit(layer.expand1, squeezed)
+            expand3 = visit(layer.expand3, squeezed)
+            return (expand1[0] + expand3[0], expand1[1], expand1[2])
+        return shape
+
+    for layer in model.layers:
+        shape = visit(layer, shape)
+    return workloads
+
+
+@dataclass(frozen=True)
+class SystolicArray:
+    """A weight-stationary systolic MAC array (Edge-TPU style is 64x64)."""
+
+    rows: int = 64
+    cols: int = 64
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("array dimensions must be >= 1")
+
+    @property
+    def num_macs(self) -> int:
+        return self.rows * self.cols
+
+    def layer_cycles(self, workload: LayerWorkload) -> int:
+        """Cycle count to execute one layer's GEMM on the array."""
+        inner_tiles = -(-workload.inner // self.rows)
+        col_tiles = -(-workload.cols // self.cols)
+        fill_drain = self.rows + self.cols
+        cycles_per_tile = workload.rows + fill_drain
+        return inner_tiles * col_tiles * cycles_per_tile
+
+    def total_cycles(self, workloads: list[LayerWorkload]) -> int:
+        """Cycle count of a full inference (sum over layers)."""
+        return sum(self.layer_cycles(workload) for workload in workloads)
+
+    def utilization(self, workloads: list[LayerWorkload]) -> float:
+        """Fraction of MAC-cycles doing useful work over the inference."""
+        cycles = self.total_cycles(workloads)
+        if cycles == 0:
+            return 0.0
+        useful = sum(workload.macs for workload in workloads)
+        return useful / (cycles * self.num_macs)

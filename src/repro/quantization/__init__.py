@@ -1,0 +1,53 @@
+"""Library of post-training quantization methods.
+
+The paper builds a library of low bit-width post-training quantization
+methods so that, for every required compression level (α, β), the method
+with the smallest accuracy loss can be selected per network (Algorithm 1,
+lines 6-9).  This package provides from-scratch NumPy implementations of the
+same five methods:
+
+=====  ==========================================  =========================
+Key    Method                                      Reference in the paper
+=====  ==========================================  =========================
+M1     Uniform symmetric quantization              Krishnamoorthi [16]
+M2     Asymmetric min/max quantization             Jacob et al. [17]
+M3     LAPQ (loss-aware p-norm clipping)           Nahshan et al. [19]
+M4     ACIQ with bias correction                   Banner et al. [18]
+M5     ACIQ without bias correction                Banner et al. [18]
+=====  ==========================================  =========================
+
+All methods are *post-training*: they only need the trained weights and a
+small calibration set of activations, support different bit-widths for
+weights and activations, and (where the original method does) per-channel
+parameters and bias correction.
+"""
+
+from repro.quantization.base import (
+    QuantParams,
+    QuantizationMethod,
+    TensorStatistics,
+)
+from repro.quantization.uniform import UniformSymmetricQuantizer
+from repro.quantization.asymmetric import AsymmetricMinMaxQuantizer
+from repro.quantization.aciq import ACIQQuantizer
+from repro.quantization.lapq import LAPQQuantizer
+from repro.quantization.registry import (
+    METHOD_KEYS,
+    available_methods,
+    get_method,
+    method_key,
+)
+
+__all__ = [
+    "QuantParams",
+    "QuantizationMethod",
+    "TensorStatistics",
+    "UniformSymmetricQuantizer",
+    "AsymmetricMinMaxQuantizer",
+    "ACIQQuantizer",
+    "LAPQQuantizer",
+    "METHOD_KEYS",
+    "available_methods",
+    "get_method",
+    "method_key",
+]

@@ -1,0 +1,39 @@
+"""Asymmetric min/max quantization (Jacob et al., CVPR 2018 [17])."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantization.base import QuantParams, QuantizationMethod
+
+
+class AsymmetricMinMaxQuantizer(QuantizationMethod):
+    """Affine quantization whose range is the observed min/max.
+
+    This is the scheme of the integer-arithmetic-only inference paper: the
+    full observed dynamic range is mapped onto the unsigned grid with a
+    zero-point, per output channel for weights and per tensor for
+    activations.  Like the uniform symmetric method it performs no clipping,
+    so outliers waste resolution at low bit-widths.
+    """
+
+    key = "M2"
+    name = "Asymmetric min/max"
+
+    def weight_params(
+        self,
+        weights: np.ndarray,
+        num_bits: int,
+        per_channel: bool = True,
+        channel_axis: int = 0,
+    ) -> QuantParams:
+        weights = np.asarray(weights, dtype=np.float64)
+        if per_channel and weights.ndim > 1:
+            minimum = self._per_channel_reduce(weights, channel_axis, np.min)
+            maximum = self._per_channel_reduce(weights, channel_axis, np.max)
+            return QuantParams.from_range(minimum, maximum, num_bits, channel_axis=channel_axis)
+        return QuantParams.from_range(float(weights.min()), float(weights.max()), num_bits)
+
+    def activation_params(self, samples: np.ndarray, num_bits: int) -> QuantParams:
+        samples = np.asarray(samples, dtype=np.float64)
+        return QuantParams.from_range(float(samples.min()), float(samples.max()), num_bits)

@@ -1,0 +1,56 @@
+"""Registry of the quantization-method library (paper's M1..M5 labels)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.quantization.aciq import ACIQQuantizer
+from repro.quantization.asymmetric import AsymmetricMinMaxQuantizer
+from repro.quantization.base import QuantizationMethod
+from repro.quantization.lapq import LAPQQuantizer
+from repro.quantization.uniform import UniformSymmetricQuantizer
+
+#: Method keys in the order the paper lists them (Table 1 footnote).
+METHOD_KEYS: tuple[str, ...] = ("M1", "M2", "M3", "M4", "M5")
+
+_FACTORIES = {
+    "M1": UniformSymmetricQuantizer,
+    "M2": AsymmetricMinMaxQuantizer,
+    "M3": LAPQQuantizer,
+    "M4": lambda: ACIQQuantizer(bias_correction=True),
+    "M5": lambda: ACIQQuantizer(bias_correction=False),
+}
+
+_ALIASES = {
+    "uniform": "M1",
+    "symmetric": "M1",
+    "minmax": "M2",
+    "asymmetric": "M2",
+    "lapq": "M3",
+    "aciq": "M4",
+    "aciq_no_bias": "M5",
+}
+
+
+def get_method(key: str) -> QuantizationMethod:
+    """Instantiate a quantization method by key (``"M1"``..``"M5"``) or alias."""
+    normalized = _ALIASES.get(key.lower(), key.upper())
+    try:
+        factory = _FACTORIES[normalized]
+    except KeyError:
+        raise KeyError(
+            f"unknown quantization method {key!r}; valid keys: {sorted(_FACTORIES)} "
+            f"and aliases: {sorted(_ALIASES)}"
+        ) from None
+    return factory()
+
+
+def available_methods(keys: Iterable[str] | None = None) -> list[QuantizationMethod]:
+    """Instantiate the full method library (or a subset given by ``keys``)."""
+    selected = list(keys) if keys is not None else list(METHOD_KEYS)
+    return [get_method(key) for key in selected]
+
+
+def method_key(method: QuantizationMethod) -> str:
+    """Return the registry key of a method instance."""
+    return method.key

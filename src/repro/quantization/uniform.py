@@ -1,0 +1,46 @@
+"""Uniform symmetric quantization (Krishnamoorthi, "whitepaper" [16])."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantization.base import QuantParams, QuantizationMethod
+
+
+class UniformSymmetricQuantizer(QuantizationMethod):
+    """Symmetric uniform quantization with a max-abs range.
+
+    Weights use a symmetric grid centred on zero whose range is the maximum
+    absolute value (optionally per output channel).  Activations that are
+    known to be non-negative (post-ReLU) use an unsigned grid over
+    ``[0, max]``; otherwise the symmetric grid is used as well.  No clipping
+    optimisation is performed, which is why the method degrades quickly at
+    the low bit-widths required by large compression values — exactly the
+    behaviour the paper reports for [16, 17].
+    """
+
+    key = "M1"
+    name = "Uniform symmetric"
+
+    def weight_params(
+        self,
+        weights: np.ndarray,
+        num_bits: int,
+        per_channel: bool = True,
+        channel_axis: int = 0,
+    ) -> QuantParams:
+        weights = np.asarray(weights, dtype=np.float64)
+        if per_channel and weights.ndim > 1:
+            max_abs = self._per_channel_reduce(
+                weights, channel_axis, lambda w, axis: np.abs(w).max(axis=axis)
+            )
+            return QuantParams.symmetric(max_abs, num_bits, channel_axis=channel_axis)
+        return QuantParams.symmetric(float(np.abs(weights).max()), num_bits)
+
+    def activation_params(self, samples: np.ndarray, num_bits: int) -> QuantParams:
+        samples = np.asarray(samples, dtype=np.float64)
+        minimum = float(samples.min())
+        maximum = float(samples.max())
+        if minimum >= 0.0:
+            return QuantParams.from_range(0.0, maximum, num_bits)
+        return QuantParams.symmetric(max(abs(minimum), abs(maximum)), num_bits)

@@ -1,0 +1,26 @@
+"""Static timing analysis and aged-circuit error characterisation.
+
+This package stands in for Synopsys PrimeTime in the paper's flow (Fig. 3):
+
+* :mod:`repro.timing.sta` — topological static timing analysis over a gate
+  netlist, including the case-analysis/constant-propagation mode used to
+  model compressed (zero-padded) inputs,
+* :mod:`repro.timing.error_model` — Monte-Carlo characterisation of the
+  timing errors an *aged* circuit produces when clocked at the fresh period
+  (the paper's Fig. 1a experiment).
+"""
+
+from repro.timing.sta import StaticTimingAnalyzer, TimingPath
+from repro.timing.error_model import (
+    TimingErrorStatistics,
+    characterize_timing_errors,
+    sweep_timing_errors,
+)
+
+__all__ = [
+    "StaticTimingAnalyzer",
+    "TimingPath",
+    "TimingErrorStatistics",
+    "characterize_timing_errors",
+    "sweep_timing_errors",
+]

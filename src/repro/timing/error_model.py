@@ -1,0 +1,188 @@
+"""Monte-Carlo characterisation of aging-induced timing errors.
+
+Reproduces the methodology behind the paper's Fig. 1a: the circuit is
+clocked at the maximum frequency obtained from the *fresh* critical-path
+delay (no guardband), its cells are degraded to a given ΔVth, and random
+input pairs are simulated with the two-vector timing simulator.  Output bits
+that settle after the clock edge capture stale values, producing the
+MSB-dominated error pattern the paper reports (rising Mean Error Distance
+and MSB bit-flip probability as ΔVth grows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable, Iterable, Mapping
+
+import numpy as np
+
+from repro.aging.cell_library import AgingAwareLibrarySet, CellLibrary
+from repro.circuits.mac import ArithmeticUnit
+from repro.circuits.simulator import TimingSimulator
+from repro.timing.sta import StaticTimingAnalyzer
+from repro.utils.rng import make_rng
+
+InputSampler = Callable[[np.random.Generator], Mapping[str, int]]
+
+
+@dataclass(frozen=True)
+class TimingErrorStatistics:
+    """Error statistics of an aged circuit clocked at a fixed period.
+
+    Attributes:
+        delta_vth_mv: aging level the cells were degraded to.
+        clock_period_ps: sampling clock period (fresh critical-path delay).
+        num_samples: number of simulated input transitions.
+        mean_error_distance: average absolute difference between the exact
+            and the captured output (the paper's MED metric).
+        error_rate: fraction of samples with any output mismatch.
+        bit_flip_probabilities: per-output-bit mismatch probability,
+            LSB-first.
+        msb_flip_probability: probability that at least one of the two most
+            significant output bits is wrong (the paper's Fig. 1a metric).
+    """
+
+    delta_vth_mv: float
+    clock_period_ps: float
+    num_samples: int
+    mean_error_distance: float
+    error_rate: float
+    bit_flip_probabilities: tuple[float, ...]
+    msb_flip_probability: float
+
+    @property
+    def output_width(self) -> int:
+        return len(self.bit_flip_probabilities)
+
+
+def _default_sampler(unit: ArithmeticUnit) -> InputSampler:
+    """Uniform random sampler over every input bus of ``unit``."""
+
+    widths = dict(unit.input_widths)
+
+    def sample(rng: np.random.Generator) -> dict[str, int]:
+        return {name: int(rng.integers(0, 1 << width)) for name, width in widths.items()}
+
+    return sample
+
+
+def characterize_timing_errors(
+    unit: ArithmeticUnit,
+    library: CellLibrary,
+    clock_period_ps: float,
+    num_samples: int = 2000,
+    rng: "int | np.random.Generator | None" = None,
+    input_sampler: InputSampler | None = None,
+    output_bus: str = "out",
+    msb_count: int = 2,
+    effective_output_width: int | None = None,
+) -> TimingErrorStatistics:
+    """Characterise the timing errors of ``unit`` under ``library`` aging.
+
+    Args:
+        unit: the circuit under test (multiplier or MAC).
+        library: an (aged) cell library; the fresh library yields zero errors
+            when ``clock_period_ps`` equals the fresh critical path.
+        clock_period_ps: capture clock period, typically the fresh
+            critical-path delay obtained from STA.
+        num_samples: number of random input transitions to simulate.
+        rng: seed or generator controlling the random inputs.
+        input_sampler: optional custom sampler (e.g. operands restricted to a
+            quantized range); defaults to uniform over all input buses.
+        output_bus: name of the observed output bus.
+        msb_count: number of most significant bits used for the MSB flip
+            probability (the paper uses the top 2).
+        effective_output_width: number of low-order output bits considered
+            meaningful (e.g. 16 for an 8x8 multiplier whose ``out`` bus is
+            wider); defaults to the full bus width.
+    """
+    if num_samples < 1:
+        raise ValueError("num_samples must be >= 1")
+    if clock_period_ps <= 0:
+        raise ValueError("clock_period_ps must be positive")
+    if output_bus not in unit.netlist.output_buses:
+        raise KeyError(f"output bus {output_bus!r} not found in unit {unit.name!r}")
+
+    generator = make_rng(rng)
+    sampler = input_sampler or _default_sampler(unit)
+    simulator = TimingSimulator(unit.netlist, library)
+
+    width = effective_output_width or unit.netlist.output_width(output_bus)
+    if not 0 < width <= unit.netlist.output_width(output_bus):
+        raise ValueError(
+            f"effective_output_width must be in [1, {unit.netlist.output_width(output_bus)}]"
+        )
+    if not 0 < msb_count <= width:
+        raise ValueError(f"msb_count must be in [1, {width}]")
+
+    bit_flip_counts = np.zeros(width, dtype=np.int64)
+    msb_flip_count = 0
+    error_count = 0
+    total_error_distance = 0.0
+
+    previous_inputs = dict(sampler(generator))
+    for _ in range(num_samples):
+        current_inputs = dict(sampler(generator))
+        evaluation = simulator.propagate(previous_inputs, current_inputs)
+        exact = evaluation.final_outputs[output_bus]
+        captured = evaluation.captured_outputs(clock_period_ps)[output_bus]
+        mask = (1 << width) - 1
+        exact &= mask
+        captured &= mask
+        if exact != captured:
+            error_count += 1
+            total_error_distance += abs(exact - captured)
+            difference = exact ^ captured
+            for bit in range(width):
+                if (difference >> bit) & 1:
+                    bit_flip_counts[bit] += 1
+            msb_mask = ((1 << msb_count) - 1) << (width - msb_count)
+            if difference & msb_mask:
+                msb_flip_count += 1
+        previous_inputs = current_inputs
+
+    return TimingErrorStatistics(
+        delta_vth_mv=library.delta_vth_mv,
+        clock_period_ps=clock_period_ps,
+        num_samples=num_samples,
+        mean_error_distance=total_error_distance / num_samples,
+        error_rate=error_count / num_samples,
+        bit_flip_probabilities=tuple(bit_flip_counts / num_samples),
+        msb_flip_probability=msb_flip_count / num_samples,
+    )
+
+
+def sweep_timing_errors(
+    unit: ArithmeticUnit,
+    library_set: AgingAwareLibrarySet,
+    levels_mv: Iterable[float] = (0.0, 10.0, 20.0, 30.0, 40.0, 50.0),
+    num_samples: int = 2000,
+    rng: "int | np.random.Generator | None" = None,
+    input_sampler: InputSampler | None = None,
+    msb_count: int = 2,
+    effective_output_width: int | None = None,
+) -> list[TimingErrorStatistics]:
+    """Characterise ``unit`` at several aging levels, fresh clock throughout.
+
+    This is the full Fig. 1a experiment: the clock period is the fresh
+    critical-path delay (no guardband) and each level uses its own aged
+    library.
+    """
+    fresh_sta = StaticTimingAnalyzer(unit, library_set.fresh)
+    fresh_period_ps = fresh_sta.critical_path_delay()
+    generator = make_rng(rng)
+    results = []
+    for level in levels_mv:
+        results.append(
+            characterize_timing_errors(
+                unit,
+                library_set.library(level),
+                clock_period_ps=fresh_period_ps,
+                num_samples=num_samples,
+                rng=generator,
+                input_sampler=input_sampler,
+                msb_count=msb_count,
+                effective_output_width=effective_output_width,
+            )
+        )
+    return results

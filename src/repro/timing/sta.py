@@ -1,0 +1,154 @@
+"""Static timing analysis with case-analysis constant propagation.
+
+The STA engine computes worst-case arrival times over the topologically
+sorted gate graph.  Its distinguishing feature — and the reason the paper's
+technique works at all — is *case analysis*: input bits that are zero-padded
+by the (α, β) compression are declared constant, the constants are
+propagated through the logic (a controlling zero kills an AND gate, an
+entire partial-product row, and every path through it), and only the
+remaining sensitisable logic contributes to the critical path.  This mirrors
+the paper's use of PrimeTime ``set_case_analysis`` on the padded bit
+positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+from repro.aging.cell_library import CellLibrary
+from repro.circuits.constants import propagate_constants
+from repro.circuits.mac import ArithmeticUnit
+from repro.circuits.netlist import Net, Netlist
+
+
+@dataclass(frozen=True)
+class TimingPath:
+    """A worst-case timing path.
+
+    Attributes:
+        delay_ps: path delay (arrival time at the endpoint).
+        endpoint: name of the output net the path terminates at.
+        nets: net names along the path, from the launching input (or the
+            first non-constant net) to the endpoint.
+    """
+
+    delay_ps: float
+    endpoint: str
+    nets: tuple[str, ...]
+
+    @property
+    def depth(self) -> int:
+        """Number of logic stages along the path."""
+        return max(len(self.nets) - 1, 0)
+
+
+class StaticTimingAnalyzer:
+    """Topological worst-case STA for a combinational netlist."""
+
+    def __init__(self, target: "ArithmeticUnit | Netlist", library: CellLibrary) -> None:
+        self.netlist = target.netlist if isinstance(target, ArithmeticUnit) else target
+        self.library = library
+        self._order = self.netlist.topological_gates()
+        self._gate_delay_ps = {
+            gate: library.delay_ps(gate.cell_name, fanout=gate.output.fanout)
+            for gate in self._order
+        }
+
+    # ----------------------------------------------------------- case analysis
+    def _resolve_case_constants(self, case_analysis: Mapping[str, int]) -> dict[Net, int]:
+        """Propagate user-supplied constant input bits through the logic."""
+        assignments: dict[Net, int] = {}
+        for net_name, value in case_analysis.items():
+            if value not in (0, 1):
+                raise ValueError(f"case-analysis value for {net_name!r} must be 0/1")
+            net = self.netlist.nets.get(net_name)
+            if net is None:
+                raise KeyError(f"case-analysis net {net_name!r} not found in netlist")
+            assignments[net] = value
+        return propagate_constants(self.netlist, assignments)
+
+    # ----------------------------------------------------------------- timing
+    def arrival_times(
+        self, case_analysis: Mapping[str, int] | None = None
+    ) -> tuple[dict[Net, float], dict[Net, int]]:
+        """Compute per-net arrival times under optional case analysis.
+
+        Returns the arrival-time map and the resolved constant map.  Constant
+        nets do not appear in the arrival map (they never transition).
+        """
+        constants = self._resolve_case_constants(case_analysis or {})
+        arrivals: dict[Net, float] = {}
+        for net in self.netlist.nets.values():
+            if net.is_primary_input and net not in constants:
+                arrivals[net] = 0.0
+        for gate in self._order:
+            if gate.output in constants:
+                continue
+            input_arrivals = [
+                arrivals[net] for net in gate.inputs if net not in constants
+            ]
+            latest = max(input_arrivals, default=0.0)
+            arrivals[gate.output] = latest + self._gate_delay_ps[gate]
+        return arrivals, constants
+
+    def critical_path_delay(self, case_analysis: Mapping[str, int] | None = None) -> float:
+        """Worst arrival time over all primary outputs (ps)."""
+        arrivals, constants = self.arrival_times(case_analysis)
+        worst = 0.0
+        for net in self.netlist.primary_output_nets():
+            if net in constants:
+                continue
+            worst = max(worst, arrivals.get(net, 0.0))
+        return worst
+
+    def critical_path(self, case_analysis: Mapping[str, int] | None = None) -> TimingPath:
+        """Worst-case path with the nets along it (for reports and debugging)."""
+        arrivals, constants = self.arrival_times(case_analysis)
+        endpoint: Net | None = None
+        worst = 0.0
+        for net in self.netlist.primary_output_nets():
+            if net in constants:
+                continue
+            arrival = arrivals.get(net, 0.0)
+            if arrival >= worst:
+                worst = arrival
+                endpoint = net
+        if endpoint is None:
+            return TimingPath(delay_ps=0.0, endpoint="", nets=())
+
+        # Walk backwards: at each gate follow the non-constant input whose
+        # arrival determined the output arrival.
+        path = [endpoint.name]
+        current = endpoint
+        while current.driver is not None and current not in constants:
+            gate = current.driver
+            candidates = [net for net in gate.inputs if net not in constants]
+            if not candidates:
+                break
+            predecessor = max(candidates, key=lambda net: arrivals.get(net, 0.0))
+            path.append(predecessor.name)
+            if predecessor.is_primary_input:
+                break
+            current = predecessor
+        path.reverse()
+        return TimingPath(delay_ps=worst, endpoint=endpoint.name, nets=tuple(path))
+
+    # ----------------------------------------------------------------- slack
+    def slack_ps(
+        self,
+        clock_period_ps: float,
+        case_analysis: Mapping[str, int] | None = None,
+    ) -> float:
+        """Timing slack against ``clock_period_ps`` (negative means violation)."""
+        if clock_period_ps <= 0:
+            raise ValueError("clock_period_ps must be positive")
+        return clock_period_ps - self.critical_path_delay(case_analysis)
+
+    def meets_timing(
+        self,
+        clock_period_ps: float,
+        case_analysis: Mapping[str, int] | None = None,
+    ) -> bool:
+        """Whether the (possibly compressed) circuit meets the clock period."""
+        return self.slack_ps(clock_period_ps, case_analysis) >= 0.0

@@ -1,0 +1,46 @@
+"""Plain-text table formatting for experiment reports.
+
+The experiment harness prints the same rows the paper's tables/figures
+report.  This module renders them without any third-party dependency so the
+benchmarks remain runnable in minimal environments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def _render_cell(value: object, float_format: str) -> str:
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    columns: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    float_format: str = ".3f",
+) -> str:
+    """Render ``rows`` under ``columns`` as an aligned plain-text table."""
+    rendered_rows = [[_render_cell(cell, float_format) for cell in row] for row in rows]
+    for i, row in enumerate(rendered_rows):
+        if len(row) != len(columns):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(columns)}"
+            )
+    widths = [len(col) for col in columns]
+    for row in rendered_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[j]) for j, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line(list(columns)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_line(row) for row in rendered_rows)
+    return "\n".join(lines)

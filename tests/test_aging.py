@@ -1,0 +1,166 @@
+"""Unit tests for the aging substrate (BTI, delay model, cell libraries)."""
+
+import numpy as np
+import pytest
+
+from repro.aging.bti import AgingScenario, BTIModel, STANDARD_DELTA_VTH_LEVELS_MV
+from repro.aging.cell_library import (
+    AgingAwareLibrarySet,
+    CellLibrary,
+    CellSpec,
+    end_of_life_guardband_fraction,
+    fresh_library,
+)
+from repro.aging.delay_model import AlphaPowerDelayModel
+
+
+class TestBTIModel:
+    def test_fresh_device_has_no_shift(self):
+        assert BTIModel().delta_vth_mv(0.0) == 0.0
+
+    def test_calibrated_to_end_of_life_anchor(self):
+        model = BTIModel()
+        assert model.delta_vth_mv(10.0) == pytest.approx(50.0, rel=1e-6)
+
+    def test_monotone_in_time(self):
+        model = BTIModel()
+        values = [model.delta_vth_mv(t) for t in (0.5, 1, 2, 5, 10)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_sublinear_power_law(self):
+        model = BTIModel()
+        # Doubling the stress time increases ΔVth by less than 2x (n < 1).
+        assert model.delta_vth_mv(2.0) < 2 * model.delta_vth_mv(1.0)
+
+    def test_inverse_round_trip(self):
+        model = BTIModel()
+        for years in (0.5, 3.0, 10.0):
+            assert model.years_for_delta_vth(model.delta_vth_mv(years)) == pytest.approx(years, rel=1e-6)
+
+    def test_temperature_accelerates_aging(self):
+        model = BTIModel()
+        assert model.delta_vth_mv(5.0, temperature_k=400.0) > model.delta_vth_mv(5.0, temperature_k=330.0)
+
+    def test_duty_cycle_reduces_aging(self):
+        model = BTIModel()
+        assert model.delta_vth_mv(5.0, duty_cycle=0.5) < model.delta_vth_mv(5.0, duty_cycle=1.0)
+
+    def test_invalid_inputs(self):
+        model = BTIModel()
+        with pytest.raises(ValueError):
+            model.delta_vth_mv(-1.0)
+        with pytest.raises(ValueError):
+            model.delta_vth_mv(1.0, duty_cycle=0.0)
+        with pytest.raises(ValueError):
+            BTIModel(eol_years=0.0)
+
+
+class TestAgingScenario:
+    def test_standard_levels(self):
+        scenario = AgingScenario()
+        assert scenario.levels_mv == STANDARD_DELTA_VTH_LEVELS_MV
+        assert scenario.fresh_level_mv == 0.0
+        assert scenario.end_of_life_mv == 50.0
+
+    def test_aged_levels_exclude_fresh(self):
+        assert 0.0 not in AgingScenario().aged_levels_mv()
+
+    def test_timeline_monotone(self):
+        timeline = AgingScenario().timeline()
+        years = [entry[1] for entry in timeline]
+        assert years == sorted(years)
+        assert years[0] == 0.0
+        assert years[-1] == pytest.approx(10.0, rel=1e-6)
+
+    def test_unsorted_levels_rejected(self):
+        with pytest.raises(ValueError):
+            AgingScenario(levels_mv=(10.0, 0.0))
+
+
+class TestAlphaPowerDelayModel:
+    def test_fresh_factor_is_one(self):
+        assert AlphaPowerDelayModel().degradation_factor(0.0) == pytest.approx(1.0)
+
+    def test_end_of_life_near_23_percent(self):
+        model = AlphaPowerDelayModel()
+        assert model.delay_increase_percent(50.0) == pytest.approx(23.0, abs=1.0)
+
+    def test_monotone_in_delta_vth(self):
+        model = AlphaPowerDelayModel()
+        factors = [model.degradation_factor(mv) for mv in (0, 10, 20, 30, 40, 50)]
+        assert all(b > a for a, b in zip(factors, factors[1:]))
+
+    def test_current_factor_inverse(self):
+        model = AlphaPowerDelayModel()
+        assert model.current_degradation_factor(30.0) == pytest.approx(
+            1.0 / model.degradation_factor(30.0)
+        )
+
+    def test_excessive_shift_rejected(self):
+        model = AlphaPowerDelayModel()
+        with pytest.raises(ValueError):
+            model.degradation_factor(model.max_delta_vth_mv() + 1.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            AlphaPowerDelayModel(vdd_v=0.2, vth0_v=0.25)
+
+
+class TestCellLibrary:
+    def test_fresh_library_has_expected_cells(self, fresh_cells):
+        for cell in ("INV", "NAND2", "XOR2", "AND2", "OR2", "MUX2"):
+            assert cell in fresh_cells
+
+    def test_unknown_cell_raises(self, fresh_cells):
+        with pytest.raises(KeyError):
+            fresh_cells.cell("NAND8")
+
+    def test_delay_grows_with_fanout(self, fresh_cells):
+        assert fresh_cells.delay_ps("INV", fanout=4) > fresh_cells.delay_ps("INV", fanout=1)
+
+    def test_aged_delay_scales_uniformly(self, fresh_cells):
+        aged = fresh_cells.aged(50.0)
+        ratio = aged.delay_ps("XOR2") / fresh_cells.delay_ps("XOR2")
+        assert ratio == pytest.approx(aged.delay_degradation_factor)
+        assert ratio > 1.2
+
+    def test_aged_leakage_decreases(self, fresh_cells):
+        aged = fresh_cells.aged(50.0)
+        assert aged.leakage_power_nw("INV") < fresh_cells.leakage_power_nw("INV")
+
+    def test_switching_energy_unchanged_by_aging(self, fresh_cells):
+        aged = fresh_cells.aged(50.0)
+        assert aged.switching_energy_fj("NAND2") == fresh_cells.switching_energy_fj("NAND2")
+
+    def test_invalid_cell_spec(self):
+        with pytest.raises(ValueError):
+            CellSpec("BAD", 0, 1.0, 1.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            CellSpec("BAD", 2, -1.0, 1.0, 1.0, 1.0, 1.0)
+
+    def test_empty_library_rejected(self):
+        with pytest.raises(ValueError):
+            CellLibrary("empty", {})
+
+
+class TestAgingAwareLibrarySet:
+    def test_levels_present(self, library_set):
+        assert library_set.levels_mv == (0.0, 10.0, 20.0, 30.0, 40.0, 50.0)
+
+    def test_fresh_is_level_zero(self, library_set):
+        assert library_set.library(0.0) is library_set.fresh
+
+    def test_degradation_monotone(self, library_set):
+        factors = [library_set.degradation_factor(level) for level in library_set.levels_mv]
+        assert factors == sorted(factors)
+
+    def test_lazy_level_generation(self, library_set):
+        library = library_set.library(35.0)
+        assert library.delta_vth_mv == 35.0
+
+    def test_guardband_fraction_matches_paper(self, library_set):
+        assert end_of_life_guardband_fraction(library_set) == pytest.approx(0.23, abs=0.01)
+
+    def test_requires_fresh_base(self, fresh_cells):
+        with pytest.raises(ValueError):
+            AgingAwareLibrarySet(fresh_cells.aged(10.0), (0.0, 10.0))

@@ -1,0 +1,165 @@
+"""Functional correctness of the generated adders, multipliers and MACs."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.adders import carry_select_adder, full_adder, half_adder, ripple_carry_adder
+from repro.circuits.mac import ArithmeticUnit, build_adder, build_mac, build_multiplier
+from repro.circuits.netlist import Netlist
+from repro.circuits.simulator import LogicSimulator
+
+
+def _evaluate_two_operand(netlist: Netlist, a: int, b: int) -> int:
+    return LogicSimulator(netlist).evaluate({"a": a, "b": b})["out"]
+
+
+class TestAdderPrimitives:
+    def test_half_adder_truth_table(self):
+        for a_bit in (0, 1):
+            for b_bit in (0, 1):
+                netlist = Netlist("ha")
+                a = netlist.add_input_bus("a", 1)
+                b = netlist.add_input_bus("b", 1)
+                s, c = half_adder(netlist, a[0], b[0])
+                netlist.add_output_bus("out", [s, c])
+                result = LogicSimulator(netlist).evaluate({"a": a_bit, "b": b_bit})["out"]
+                assert result == a_bit + b_bit
+
+    def test_full_adder_truth_table(self):
+        for value in range(8):
+            a_bit, b_bit, c_bit = value & 1, (value >> 1) & 1, (value >> 2) & 1
+            netlist = Netlist("fa")
+            a = netlist.add_input_bus("a", 1)
+            b = netlist.add_input_bus("b", 1)
+            c = netlist.add_input_bus("c", 1)
+            s, carry = full_adder(netlist, a[0], b[0], c[0])
+            netlist.add_output_bus("out", [s, carry])
+            result = LogicSimulator(netlist).evaluate({"a": a_bit, "b": b_bit, "c": c_bit})["out"]
+            assert result == a_bit + b_bit + c_bit
+
+
+class TestRippleCarryAdder:
+    def test_exhaustive_4_bit(self):
+        unit = build_adder(4, "ripple")
+        simulator = LogicSimulator(unit.netlist)
+        for a in range(16):
+            for b in range(16):
+                assert simulator.evaluate({"a": a, "b": b})["out"] == a + b
+
+    def test_mixed_width_operands(self):
+        netlist = Netlist("mixed")
+        a = netlist.add_input_bus("a", 6)
+        b = netlist.add_input_bus("b", 3)
+        sums, carry = ripple_carry_adder(netlist, a, b)
+        netlist.add_output_bus("out", list(sums) + [carry])
+        simulator = LogicSimulator(netlist)
+        for a_val, b_val in [(63, 7), (40, 5), (0, 0), (17, 6)]:
+            assert simulator.evaluate({"a": a_val, "b": b_val})["out"] == a_val + b_val
+
+    def test_empty_operand_rejected(self):
+        netlist = Netlist("bad")
+        a = netlist.add_input_bus("a", 2)
+        with pytest.raises(ValueError):
+            ripple_carry_adder(netlist, a, [])
+
+
+class TestCarrySelectAdder:
+    def test_exhaustive_5_bit(self):
+        netlist = Netlist("csa")
+        a = netlist.add_input_bus("a", 5)
+        b = netlist.add_input_bus("b", 5)
+        sums, carry = carry_select_adder(netlist, a, b, block_size=2)
+        netlist.add_output_bus("out", list(sums) + [carry])
+        simulator = LogicSimulator(netlist)
+        for a_val in range(0, 32, 3):
+            for b_val in range(0, 32, 5):
+                assert simulator.evaluate({"a": a_val, "b": b_val})["out"] == a_val + b_val
+
+    def test_invalid_block_size(self):
+        netlist = Netlist("bad")
+        a = netlist.add_input_bus("a", 4)
+        b = netlist.add_input_bus("b", 4)
+        with pytest.raises(ValueError):
+            carry_select_adder(netlist, a, b, block_size=0)
+
+    def test_adder_architecture_delay_differs(self, fresh_cells):
+        from repro.timing.sta import StaticTimingAnalyzer
+
+        ripple = build_adder(16, "ripple")
+        select = build_adder(16, "carry_select")
+        ripple_delay = StaticTimingAnalyzer(ripple, fresh_cells).critical_path_delay()
+        select_delay = StaticTimingAnalyzer(select, fresh_cells).critical_path_delay()
+        assert select_delay < ripple_delay
+        assert select.gate_count > ripple.gate_count
+
+
+class TestMultipliers:
+    @pytest.mark.parametrize("architecture", ["array", "wallace"])
+    def test_exhaustive_4_bit(self, architecture):
+        unit = build_multiplier(4, architecture)
+        simulator = LogicSimulator(unit.netlist)
+        for a in range(16):
+            for b in range(16):
+                assert simulator.evaluate({"a": a, "b": b})["out"] == a * b
+
+    @pytest.mark.parametrize("architecture", ["array", "wallace"])
+    def test_random_8_bit(self, architecture, rng):
+        unit = build_multiplier(8, architecture)
+        simulator = LogicSimulator(unit.netlist)
+        for _ in range(60):
+            a = int(rng.integers(0, 256))
+            b = int(rng.integers(0, 256))
+            assert simulator.evaluate({"a": a, "b": b})["out"] == a * b
+
+    def test_output_width(self):
+        unit = build_multiplier(8, "array")
+        assert unit.output_widths["out"] == 16
+
+    def test_unknown_architecture(self):
+        with pytest.raises(ValueError):
+            build_multiplier(8, "booth")
+
+
+class TestMacUnit:
+    def test_small_mac_functional(self, small_mac, rng):
+        simulator = LogicSimulator(small_mac.netlist)
+        for _ in range(80):
+            a = int(rng.integers(0, 16))
+            b = int(rng.integers(0, 16))
+            c = int(rng.integers(0, 1 << 10))
+            assert simulator.evaluate({"a": a, "b": b, "c": c})["out"] == a * b + c
+
+    def test_paper_mac_functional(self, paper_mac, rng):
+        simulator = LogicSimulator(paper_mac.netlist)
+        for _ in range(40):
+            a = int(rng.integers(0, 256))
+            b = int(rng.integers(0, 256))
+            c = int(rng.integers(0, 1 << 22))
+            assert simulator.evaluate({"a": a, "b": b, "c": c})["out"] == a * b + c
+
+    def test_compute_helper(self, small_mac):
+        assert small_mac.compute(a=3, b=5, c=100)["out"] == 115
+
+    def test_port_description(self, paper_mac):
+        assert paper_mac.input_widths == {"a": 8, "b": 8, "c": 22}
+        assert paper_mac.output_widths["out"] == 23
+        assert paper_mac.gate_count > 300
+
+    def test_stats_report(self, small_mac):
+        stats = small_mac.stats()
+        assert stats["gates"] == small_mac.gate_count
+        assert "description" in stats
+
+    def test_accumulator_narrower_than_product_rejected(self):
+        with pytest.raises(ValueError):
+            build_mac(multiplier_width=8, accumulator_width=10)
+
+    def test_unknown_architectures_rejected(self):
+        with pytest.raises(ValueError):
+            build_mac(multiplier="booth")
+        with pytest.raises(ValueError):
+            build_mac(adder="kogge_stone")
+
+    def test_arithmetic_unit_is_dataclass_like(self, small_mac):
+        assert isinstance(small_mac, ArithmeticUnit)
+        assert small_mac.name.startswith("mac")

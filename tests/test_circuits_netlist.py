@@ -1,0 +1,172 @@
+"""Unit tests for nets, gates, netlists and cell boolean functions."""
+
+import pytest
+
+from repro.circuits.constants import propagate_constants
+from repro.circuits.gates import CELL_FUNCTIONS, CELL_INPUT_COUNTS, evaluate_cell
+from repro.circuits.netlist import Netlist, bus_values_to_bits, bits_to_bus_values
+
+
+class TestCellFunctions:
+    def test_every_cell_has_an_arity(self):
+        assert set(CELL_FUNCTIONS) == set(CELL_INPUT_COUNTS)
+
+    @pytest.mark.parametrize(
+        "cell,inputs,expected",
+        [
+            ("INV", (0,), 1),
+            ("INV", (1,), 0),
+            ("BUF", (1,), 1),
+            ("NAND2", (1, 1), 0),
+            ("NAND2", (1, 0), 1),
+            ("NOR2", (0, 0), 1),
+            ("AND2", (1, 1), 1),
+            ("OR2", (0, 1), 1),
+            ("XOR2", (1, 1), 0),
+            ("XNOR2", (1, 1), 1),
+            ("MUX2", (1, 0, 0), 1),
+            ("MUX2", (1, 0, 1), 0),
+            ("AOI21", (1, 1, 0), 0),
+            ("AOI21", (0, 0, 0), 1),
+            ("OAI21", (1, 0, 1), 0),
+            ("OAI21", (0, 0, 1), 1),
+        ],
+    )
+    def test_truth_table_entries(self, cell, inputs, expected):
+        assert evaluate_cell(cell, inputs) == expected
+
+    def test_unknown_cell(self):
+        with pytest.raises(KeyError):
+            evaluate_cell("NAND3", (0, 0, 0))
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError):
+            evaluate_cell("AND2", (1,))
+
+    def test_non_binary_input(self):
+        with pytest.raises(ValueError):
+            evaluate_cell("AND2", (1, 2))
+
+
+class TestNetlist:
+    def build_simple(self):
+        netlist = Netlist("simple")
+        a = netlist.add_input_bus("a", 2)
+        b = netlist.add_input_bus("b", 1)
+        and_out = netlist.add_gate("AND2", (a[0], a[1]))
+        or_out = netlist.add_gate("OR2", (and_out, b[0]))
+        netlist.add_output_bus("out", [or_out])
+        return netlist, a, b
+
+    def test_gate_and_net_counts(self):
+        netlist, _, _ = self.build_simple()
+        assert netlist.gate_count == 2
+        assert netlist.input_width("a") == 2
+        assert netlist.output_width("out") == 1
+
+    def test_duplicate_bus_rejected(self):
+        netlist, _, _ = self.build_simple()
+        with pytest.raises(ValueError):
+            netlist.add_input_bus("a", 2)
+
+    def test_constant_nets_are_shared(self):
+        netlist = Netlist("c")
+        assert netlist.constant(0) is netlist.constant(0)
+        assert netlist.constant(0) is not netlist.constant(1)
+        with pytest.raises(ValueError):
+            netlist.constant(2)
+
+    def test_topological_order_respects_dependencies(self):
+        netlist, _, _ = self.build_simple()
+        order = netlist.topological_gates()
+        assert [gate.cell_name for gate in order] == ["AND2", "OR2"]
+
+    def test_validate_passes_on_well_formed(self):
+        netlist, _, _ = self.build_simple()
+        netlist.validate()
+
+    def test_foreign_net_rejected(self):
+        netlist, a, _ = self.build_simple()
+        other = Netlist("other")
+        foreign = other.add_input_bus("x", 1)[0]
+        with pytest.raises(ValueError):
+            netlist.add_gate("AND2", (a[0], foreign))
+
+    def test_unknown_cell_rejected(self):
+        netlist, a, _ = self.build_simple()
+        with pytest.raises(KeyError):
+            netlist.add_gate("NAND4", (a[0], a[1]))
+
+    def test_fanout_tracking(self):
+        netlist = Netlist("fanout")
+        a = netlist.add_input_bus("a", 1)
+        net = a[0]
+        netlist.add_gate("INV", (net,))
+        netlist.add_gate("BUF", (net,))
+        assert net.fanout == 2
+
+    def test_stats_and_histogram(self):
+        netlist, _, _ = self.build_simple()
+        stats = netlist.stats()
+        assert stats["gates"] == 2
+        assert stats["cells"] == {"AND2": 1, "OR2": 1}
+
+    def test_bus_conversion_round_trip(self):
+        netlist, a, b = self.build_simple()
+        values = {"a": 3, "b": 1}
+        bits = bus_values_to_bits(values, netlist.input_buses)
+        assert bits[a[0]] == 1 and bits[a[1]] == 1 and bits[b[0]] == 1
+        assert bits_to_bus_values(bits, netlist.input_buses) == values
+
+    def test_bus_value_out_of_range(self):
+        netlist, _, _ = self.build_simple()
+        with pytest.raises(ValueError):
+            bus_values_to_bits({"a": 4, "b": 0}, netlist.input_buses)
+
+    def test_missing_bus_value(self):
+        netlist, _, _ = self.build_simple()
+        with pytest.raises(KeyError):
+            bus_values_to_bits({"a": 1}, netlist.input_buses)
+
+
+class TestConstantPropagation:
+    def test_controlling_zero_kills_and_gate(self):
+        netlist = Netlist("const")
+        a = netlist.add_input_bus("a", 1)
+        zero = netlist.constant(0)
+        and_out = netlist.add_gate("AND2", (a[0], zero))
+        or_out = netlist.add_gate("OR2", (and_out, a[0]))
+        netlist.add_output_bus("out", [or_out])
+        constants = propagate_constants(netlist)
+        assert constants[and_out] == 0
+        assert or_out not in constants
+
+    def test_case_analysis_assignment_propagates(self):
+        netlist = Netlist("case")
+        a = netlist.add_input_bus("a", 2)
+        and_out = netlist.add_gate("AND2", (a[0], a[1]))
+        netlist.add_output_bus("out", [and_out])
+        constants = propagate_constants(netlist, {a[0]: 0})
+        assert constants[and_out] == 0
+
+    def test_controlling_one_forces_or_gate(self):
+        netlist = Netlist("or1")
+        a = netlist.add_input_bus("a", 1)
+        one = netlist.constant(1)
+        or_out = netlist.add_gate("OR2", (a[0], one))
+        netlist.add_output_bus("out", [or_out])
+        assert propagate_constants(netlist)[or_out] == 1
+
+    def test_xor_with_constant_is_not_constant(self):
+        netlist = Netlist("xor")
+        a = netlist.add_input_bus("a", 1)
+        zero = netlist.constant(0)
+        xor_out = netlist.add_gate("XOR2", (a[0], zero))
+        netlist.add_output_bus("out", [xor_out])
+        assert xor_out not in propagate_constants(netlist)
+
+    def test_invalid_assignment_value(self):
+        netlist = Netlist("bad")
+        a = netlist.add_input_bus("a", 1)
+        with pytest.raises(ValueError):
+            propagate_constants(netlist, {a[0]: 3})

@@ -1,0 +1,116 @@
+"""Tests of the zero-delay and timed (event-driven) simulators."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.mac import build_multiplier
+from repro.circuits.simulator import LogicSimulator, TimingSimulator
+
+
+class TestLogicSimulator:
+    def test_matches_python_multiplication(self, small_multiplier, rng):
+        simulator = LogicSimulator(small_multiplier.netlist)
+        for _ in range(40):
+            a = int(rng.integers(0, 16))
+            b = int(rng.integers(0, 16))
+            assert simulator.evaluate({"a": a, "b": b})["out"] == a * b
+
+    def test_evaluate_bits_covers_every_net(self, small_multiplier):
+        simulator = LogicSimulator(small_multiplier.netlist)
+        values = simulator.evaluate_bits({"a": 5, "b": 9})
+        for gate in small_multiplier.netlist.gates:
+            assert values[gate.output] in (0, 1)
+
+
+class TestTimingSimulatorEventModel:
+    def test_final_outputs_are_functionally_correct(self, small_multiplier, fresh_cells, rng):
+        simulator = TimingSimulator(small_multiplier.netlist, fresh_cells)
+        previous = {"a": 0, "b": 0}
+        for _ in range(30):
+            current = {"a": int(rng.integers(0, 16)), "b": int(rng.integers(0, 16))}
+            evaluation = simulator.propagate(previous, current)
+            assert evaluation.final_outputs["out"] == current["a"] * current["b"]
+            previous = current
+
+    def test_fresh_settle_never_exceeds_sta_critical_path(self, small_multiplier, fresh_cells, rng):
+        from repro.timing.sta import StaticTimingAnalyzer
+
+        critical_path = StaticTimingAnalyzer(small_multiplier, fresh_cells).critical_path_delay()
+        simulator = TimingSimulator(small_multiplier.netlist, fresh_cells)
+        previous = {"a": 3, "b": 7}
+        for _ in range(30):
+            current = {"a": int(rng.integers(0, 16)), "b": int(rng.integers(0, 16))}
+            evaluation = simulator.propagate(previous, current)
+            assert evaluation.worst_arrival_ps <= critical_path + 1e-9
+            previous = current
+
+    def test_no_input_change_means_no_activity(self, small_multiplier, fresh_cells):
+        simulator = TimingSimulator(small_multiplier.netlist, fresh_cells)
+        evaluation = simulator.propagate({"a": 5, "b": 5}, {"a": 5, "b": 5})
+        assert evaluation.worst_arrival_ps == 0.0
+        assert evaluation.final_outputs == evaluation.previous_outputs
+
+    def test_captured_outputs_with_generous_clock_are_exact(self, small_multiplier, fresh_cells):
+        simulator = TimingSimulator(small_multiplier.netlist, fresh_cells)
+        evaluation = simulator.propagate({"a": 1, "b": 1}, {"a": 15, "b": 15})
+        captured = evaluation.captured_outputs(clock_period_ps=1e6)
+        assert captured["out"] == 225
+
+    def test_captured_outputs_with_tiny_clock_are_stale(self, small_multiplier, fresh_cells):
+        simulator = TimingSimulator(small_multiplier.netlist, fresh_cells)
+        evaluation = simulator.propagate({"a": 3, "b": 3}, {"a": 15, "b": 15})
+        captured = evaluation.captured_outputs(clock_period_ps=1e-3)
+        assert captured["out"] == 9
+        assert evaluation.has_timing_violation(1e-3)
+
+    def test_aged_cells_slow_down_settling(self, small_multiplier, library_set):
+        fresh_sim = TimingSimulator(small_multiplier.netlist, library_set.fresh)
+        aged_sim = TimingSimulator(small_multiplier.netlist, library_set.library(50.0))
+        fresh_eval = fresh_sim.propagate({"a": 0, "b": 0}, {"a": 15, "b": 15})
+        aged_eval = aged_sim.propagate({"a": 0, "b": 0}, {"a": 15, "b": 15})
+        assert aged_eval.worst_arrival_ps > fresh_eval.worst_arrival_ps
+        assert aged_eval.final_outputs == fresh_eval.final_outputs
+
+    def test_invalid_clock_period(self, small_multiplier, fresh_cells):
+        simulator = TimingSimulator(small_multiplier.netlist, fresh_cells)
+        evaluation = simulator.propagate({"a": 0, "b": 0}, {"a": 1, "b": 1})
+        with pytest.raises(ValueError):
+            evaluation.captured_outputs(0.0)
+
+
+class TestLevelizedArrivalModels:
+    @pytest.mark.parametrize("model", ["settle", "transition"])
+    def test_levelized_models_functionally_correct(self, small_multiplier, fresh_cells, model, rng):
+        simulator = TimingSimulator(small_multiplier.netlist, fresh_cells, arrival_model=model)
+        previous = {"a": 2, "b": 2}
+        for _ in range(20):
+            current = {"a": int(rng.integers(0, 16)), "b": int(rng.integers(0, 16))}
+            evaluation = simulator.propagate(previous, current)
+            assert evaluation.final_outputs["out"] == current["a"] * current["b"]
+            previous = current
+
+    def test_settle_bounds_transition_from_above(self, small_multiplier, fresh_cells):
+        settle = TimingSimulator(small_multiplier.netlist, fresh_cells, arrival_model="settle")
+        transition = TimingSimulator(small_multiplier.netlist, fresh_cells, arrival_model="transition")
+        previous = {"a": 1, "b": 3}
+        current = {"a": 14, "b": 11}
+        assert (
+            settle.propagate(previous, current).worst_arrival_ps
+            >= transition.propagate(previous, current).worst_arrival_ps
+        )
+
+    def test_event_model_between_bounds(self, fresh_cells, rng):
+        unit = build_multiplier(6, "array")
+        event = TimingSimulator(unit.netlist, fresh_cells, arrival_model="event")
+        settle = TimingSimulator(unit.netlist, fresh_cells, arrival_model="settle")
+        previous = {"a": 0, "b": 0}
+        for _ in range(10):
+            current = {"a": int(rng.integers(0, 64)), "b": int(rng.integers(0, 64))}
+            event_worst = event.propagate(previous, current).worst_arrival_ps
+            settle_worst = settle.propagate(previous, current).worst_arrival_ps
+            assert event_worst <= settle_worst + 1e-9
+            previous = current
+
+    def test_unknown_model_rejected(self, small_multiplier, fresh_cells):
+        with pytest.raises(ValueError):
+            TimingSimulator(small_multiplier.netlist, fresh_cells, arrival_model="exact")

@@ -1,0 +1,181 @@
+"""Tests of Algorithm 1, the guardband analysis and the lifetime pipeline.
+
+These tests exercise the full device-to-system flow on the paper's MAC but
+with a reduced compression search space and the tiny model/dataset, so they
+stay fast while covering every decision the algorithm makes.
+"""
+
+import pytest
+
+from repro.aging.bti import AgingScenario
+from repro.core.algorithm import AgingAwareQuantizer
+from repro.core.compression import CompressionChoice
+from repro.core.guardband import analyze_guardband, baseline_delay_trajectory, compensated_delay_trajectory
+from repro.core.pipeline import DeviceToSystemPipeline
+from repro.core.timing_analysis import CompressionTimingAnalyzer
+from repro.quantization.registry import available_methods
+
+
+@pytest.fixture(scope="module")
+def timing_analyzer(paper_mac, library_set):
+    return CompressionTimingAnalyzer(paper_mac, library_set)
+
+
+@pytest.fixture(scope="module")
+def quantizer(paper_mac, library_set):
+    return AgingAwareQuantizer(
+        mac=paper_mac,
+        library_set=library_set,
+        methods=available_methods(["M2", "M4"]),
+        max_alpha=4,
+        max_beta=4,
+    )
+
+
+class TestCompressionTimingAnalyzer:
+    def test_fresh_period_is_uncompressed_delay(self, timing_analyzer):
+        assert timing_analyzer.fresh_period_ps() == pytest.approx(
+            timing_analyzer.delay_ps(0.0, None)
+        )
+
+    def test_compression_reduces_delay_at_every_level(self, timing_analyzer):
+        for level in (0.0, 30.0, 50.0):
+            uncompressed = timing_analyzer.delay_ps(level, None)
+            compressed = timing_analyzer.delay_ps(level, CompressionChoice(4, 4))
+            assert compressed < uncompressed
+
+    def test_feasible_set_shrinks_with_aging(self, timing_analyzer):
+        mild = timing_analyzer.feasible_compressions(10.0, max_alpha=3, max_beta=3)
+        severe = timing_analyzer.feasible_compressions(50.0, max_alpha=3, max_beta=3)
+        assert len(severe) <= len(mild)
+        assert all(entry.meets_timing for entry in mild + severe)
+
+    def test_uncompressed_feasible_only_when_fresh(self, timing_analyzer):
+        fresh = timing_analyzer.feasible_compressions(0.0, max_alpha=1, max_beta=1)
+        aged = timing_analyzer.feasible_compressions(50.0, max_alpha=4, max_beta=4)
+        assert any(entry.choice.is_uncompressed for entry in fresh)
+        assert not any(entry.choice.is_uncompressed for entry in aged)
+
+    def test_timing_record_fields(self, timing_analyzer):
+        record = timing_analyzer.timing(20.0, CompressionChoice(2, 2))
+        assert record.delta_vth_mv == 20.0
+        assert record.normalized_delay == pytest.approx(record.delay_ps / record.target_period_ps)
+        assert record.meets_timing == (record.slack_ps >= 0)
+
+
+class TestAlgorithmSelection:
+    def test_selected_compression_meets_fresh_clock(self, quantizer):
+        for level in (10.0, 30.0, 50.0):
+            timing = quantizer.select_compression(level)
+            assert timing.meets_timing
+            assert timing.normalized_delay <= 1.0 + 1e-9
+
+    def test_compression_severity_grows_with_aging(self, quantizer):
+        mild = quantizer.select_compression(10.0).choice
+        severe = quantizer.select_compression(50.0).choice
+        assert severe.surrogate >= mild.surrogate
+
+    def test_fresh_level_needs_no_compression(self, quantizer):
+        assert quantizer.select_compression(0.0).choice.is_uncompressed
+
+    def test_method_search_returns_best(self, quantizer, tiny_model, tiny_calibration, tiny_dataset):
+        compression = CompressionChoice(2, 2)
+        selected, evaluation, per_method, satisfied = quantizer.quantize_model(
+            tiny_model, compression, tiny_calibration, tiny_dataset.x_test, tiny_dataset.y_test
+        )
+        assert selected in per_method
+        assert satisfied is True
+        assert evaluation.accuracy_loss_percent == min(
+            entry.accuracy_loss_percent for entry in per_method.values()
+        )
+
+    def test_threshold_short_circuits_search(self, quantizer, tiny_model, tiny_calibration, tiny_dataset):
+        compression = CompressionChoice(0, 0)
+        selected, _, per_method, satisfied = quantizer.quantize_model(
+            tiny_model,
+            compression,
+            tiny_calibration,
+            tiny_dataset.x_test,
+            tiny_dataset.y_test,
+            accuracy_loss_threshold_percent=100.0,
+        )
+        assert satisfied is True
+        assert len(per_method) == 1  # first method already met the generous threshold
+        assert selected == list(per_method)[0]
+
+    def test_run_produces_complete_result(self, quantizer, tiny_model, tiny_calibration, tiny_dataset):
+        result = quantizer.run(
+            tiny_model, 30.0, tiny_calibration, tiny_dataset.x_test, tiny_dataset.y_test
+        )
+        assert result.delta_vth_mv == 30.0
+        assert result.compression == result.timing.choice
+        assert result.selected_method in result.per_method
+        assert result.accuracy_loss_percent == result.evaluation.accuracy_loss_percent
+
+    def test_empty_method_library_rejected(self, paper_mac, library_set):
+        with pytest.raises(ValueError):
+            AgingAwareQuantizer(mac=paper_mac, library_set=library_set, methods=[])
+
+
+class TestGuardband:
+    def test_guardband_matches_delay_model(self, paper_mac, library_set):
+        analysis = analyze_guardband(paper_mac, library_set)
+        expected = library_set.library(50.0).delay_degradation_factor - 1.0
+        assert analysis.guardband_fraction == pytest.approx(expected, rel=1e-9)
+        assert analysis.performance_gain_percent == pytest.approx(expected * 100.0)
+
+    def test_trajectories(self, timing_analyzer):
+        baseline = baseline_delay_trajectory(timing_analyzer, (0.0, 30.0, 50.0))
+        assert [entry[0] for entry in baseline] == [0.0, 30.0, 50.0]
+        assert baseline[0][1] == pytest.approx(1.0)
+        assert baseline[-1][1] > 1.2
+
+        from repro.core.padding import Padding
+
+        selections = {
+            30.0: CompressionChoice(4, 4, Padding.LSB),
+            50.0: CompressionChoice(4, 4, Padding.LSB),
+        }
+        ours = compensated_delay_trajectory(timing_analyzer, selections)
+        by_level = dict(baseline)
+        for level, normalized in ours:
+            assert normalized < by_level[level]
+        assert ours[-1][1] <= 1.0 + 1e-9
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def pipeline(self, paper_mac, library_set):
+        return DeviceToSystemPipeline(
+            mac=paper_mac,
+            library_set=library_set,
+            scenario=AgingScenario(levels_mv=(0.0, 20.0, 50.0)),
+            methods=available_methods(["M2", "M4"]),
+            max_alpha=4,
+            max_beta=4,
+        )
+
+    def test_plan_covers_every_level(self, pipeline):
+        plans = pipeline.plan()
+        assert [plan.delta_vth_mv for plan in plans] == [0.0, 20.0, 50.0]
+        for plan in plans:
+            assert plan.normalized_compensated_delay <= 1.0 + 1e-9
+            assert plan.normalized_baseline_delay >= 1.0
+
+    def test_plan_is_cached(self, pipeline):
+        assert pipeline.plan_level(20.0) is pipeline.plan_level(20.0)
+
+    def test_evaluate_network_over_lifetime(self, pipeline, tiny_model, tiny_calibration, tiny_dataset):
+        results = pipeline.evaluate_network(
+            tiny_model, tiny_calibration, tiny_dataset.x_test, tiny_dataset.y_test
+        )
+        assert [result.delta_vth_mv for result in results] == [20.0, 50.0]
+        for result in results:
+            assert result.timing.meets_timing
+            assert result.selected_method in ("M2", "M4")
+
+    def test_energy_study_shows_savings_when_aged(self, pipeline):
+        study = pipeline.energy_study(num_transitions=120, rng=0)
+        by_level = {entry.delta_vth_mv: entry for entry in study}
+        assert by_level[0.0].normalized_energy == pytest.approx(1.0, abs=0.1)
+        assert by_level[50.0].normalized_energy < by_level[0.0].normalized_energy

@@ -1,0 +1,98 @@
+"""Tests of the compression space, padding semantics and selection rule."""
+
+import pytest
+
+from repro.core.compression import (
+    CompressionChoice,
+    enumerate_compressions,
+    euclidean_surrogate,
+    select_minimal_compression,
+)
+from repro.core.padding import Padding, mac_case_analysis, multiplier_case_analysis, output_shift
+
+
+class TestCompressionChoice:
+    def test_bit_widths_follow_the_paper(self):
+        choice = CompressionChoice(3, 4, Padding.LSB)
+        assert choice.activation_bits() == 5
+        assert choice.weight_bits() == 4
+        assert choice.bias_bits() == 9
+
+    def test_uncompressed_point(self):
+        choice = CompressionChoice(0, 0)
+        assert choice.is_uncompressed
+        assert choice.activation_bits() == 8 and choice.weight_bits() == 8 and choice.bias_bits() == 16
+
+    def test_surrogate(self):
+        assert euclidean_surrogate(3, 4) == pytest.approx(5.0)
+        assert CompressionChoice(3, 4).surrogate == pytest.approx(5.0)
+
+    def test_label(self):
+        assert CompressionChoice(2, 4, Padding.LSB).label() == "(2,4)/LSB"
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            CompressionChoice(-1, 0)
+        with pytest.raises(ValueError):
+            CompressionChoice(8, 0).activation_bits()
+
+
+class TestEnumeration:
+    def test_search_space_size(self):
+        choices = enumerate_compressions(2, 2)
+        # 1 uncompressed + 8 compressed points x 2 paddings
+        assert len(choices) == 1 + 8 * 2
+
+    def test_uncompressed_can_be_excluded(self):
+        choices = enumerate_compressions(1, 1, include_uncompressed=False)
+        assert all(not choice.is_uncompressed for choice in choices)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            enumerate_compressions(-1, 0)
+        with pytest.raises(ValueError):
+            enumerate_compressions(1, 1, paddings=())
+
+
+class TestSelection:
+    def test_minimal_surrogate_wins(self):
+        feasible = [CompressionChoice(4, 4), CompressionChoice(1, 1), CompressionChoice(2, 3)]
+        assert select_minimal_compression(feasible) == CompressionChoice(1, 1)
+
+    def test_tie_breaks_towards_small_alpha(self):
+        feasible = [CompressionChoice(4, 3), CompressionChoice(3, 4)]
+        assert select_minimal_compression(feasible).alpha == 3
+
+    def test_tie_breaks_towards_msb_padding(self):
+        feasible = [CompressionChoice(2, 2, Padding.LSB), CompressionChoice(2, 2, Padding.MSB)]
+        assert select_minimal_compression(feasible).padding is Padding.MSB
+
+    def test_empty_feasible_set_rejected(self):
+        with pytest.raises(ValueError):
+            select_minimal_compression([])
+
+
+class TestPadding:
+    def test_msb_padding_zeros_top_bits(self):
+        constants = multiplier_case_analysis(2, 1, Padding.MSB, width=8)
+        assert constants == {"a[6]": 0, "a[7]": 0, "b[7]": 0}
+
+    def test_lsb_padding_zeros_bottom_bits(self):
+        constants = multiplier_case_analysis(2, 1, Padding.LSB, width=8)
+        assert constants == {"a[0]": 0, "a[1]": 0, "b[0]": 0}
+
+    def test_mac_case_analysis_includes_accumulator(self):
+        constants = mac_case_analysis(1, 2, Padding.MSB)
+        assert "c[21]" in constants and "c[19]" in constants
+        assert len([k for k in constants if k.startswith("c[")]) == 3
+
+    def test_zero_compression_has_no_constants(self):
+        assert mac_case_analysis(0, 0, Padding.MSB) == {}
+
+    def test_output_shift_only_for_lsb(self):
+        assert output_shift(2, 3, Padding.LSB) == 5
+        assert output_shift(2, 3, Padding.MSB) == 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            multiplier_case_analysis(9, 0, Padding.MSB, width=8)

@@ -1,0 +1,155 @@
+"""Tests of the experiment harness (reporting, settings, and fast end-to-end runs).
+
+The NN-heavy experiments (Table 1, Fig. 1b, ablations) are exercised with a
+drastically reduced settings profile so the suite stays fast; their full
+versions are covered by the benchmark harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    ExperimentSettings,
+    ExperimentWorkspace,
+    run_experiments,
+    run_fig1a,
+    run_fig2,
+    run_fig4a,
+    run_fig4b,
+    run_fig5,
+    run_table2,
+)
+from repro.experiments.runner import EXPERIMENTS, main
+
+
+@pytest.fixture(scope="module")
+def fast_workspace():
+    settings = ExperimentSettings.fast(
+        error_samples=60,
+        energy_transitions=80,
+        max_alpha=4,
+        max_beta=4,
+        test_subset=60,
+    )
+    return ExperimentWorkspace.create(settings)
+
+
+class TestReporting:
+    def test_table_rendering_and_columns(self):
+        result = ExperimentResult(
+            experiment_id="demo",
+            title="Demo",
+            columns=["x", "y"],
+            rows=[[1, 2.0], [3, 4.5]],
+        )
+        assert "Demo" in result.to_table()
+        assert result.column_values("y") == [2.0, 4.5]
+        with pytest.raises(KeyError):
+            result.column_values("z")
+
+    def test_json_round_trip(self, tmp_path):
+        result = ExperimentResult("demo", "Demo", ["a"], [[np.float64(1.5)]], metadata={"k": 2})
+        path = result.save_json(tmp_path / "demo.json")
+        import json
+
+        data = json.loads(path.read_text())
+        assert data["experiment_id"] == "demo"
+        assert data["rows"] == [[1.5]]
+        assert data["metadata"] == {"k": 2}
+
+
+class TestSettings:
+    def test_profiles(self):
+        fast = ExperimentSettings.fast()
+        full = ExperimentSettings.full()
+        assert len(full.table1_networks) > len(fast.table1_networks)
+        assert full.error_samples > fast.error_samples
+        assert fast.aged_levels_mv == (10.0, 20.0, 30.0, 40.0, 50.0)
+
+    def test_overrides(self):
+        settings = ExperimentSettings.fast(seed=5).with_overrides(error_samples=10)
+        assert settings.seed == 5 and settings.error_samples == 10
+
+
+class TestHardwareSideExperiments:
+    def test_fig1a_shape(self, fast_workspace):
+        result = run_fig1a(workspace=fast_workspace)
+        assert result.columns[0] == "delta_vth_mv"
+        levels = result.column_values("delta_vth_mv")
+        assert levels == list(fast_workspace.settings.aging_levels_mv)
+        med = result.column_values("mean_error_distance")
+        assert med[0] == 0.0
+        assert med[-1] >= med[0]
+
+    def test_fig2_delay_gain(self, fast_workspace):
+        result = run_fig2(workspace=fast_workspace)
+        assert result.metadata["max_delay_gain_percent"] > 10.0
+        for row in result.rows:
+            assert row[2] <= 1.0 + 1e-9 and row[3] <= 1.0 + 1e-9
+
+    def test_table2_compressions_meet_timing(self, fast_workspace):
+        result = run_table2(workspace=fast_workspace)
+        assert len(result.rows) == 5
+        ours = result.column_values("normalized_delay_ours")
+        baseline = result.column_values("normalized_delay_baseline")
+        assert all(value <= 1.0 + 1e-9 for value in ours)
+        assert all(value >= 1.0 for value in baseline)
+        surrogates = [np.hypot(row[1], row[2]) for row in result.rows]
+        assert surrogates == sorted(surrogates) or max(surrogates) == surrogates[-1]
+
+    def test_fig4a_guardband(self, fast_workspace):
+        result = run_fig4a(workspace=fast_workspace)
+        assert result.metadata["guardband_percent"] == pytest.approx(23.0, abs=1.5)
+        assert result.column_values("ours_normalized_delay")[-1] <= 1.0 + 1e-9
+
+    def test_fig5_energy_reduction(self, fast_workspace):
+        result = run_fig5(workspace=fast_workspace)
+        normalized = result.column_values("normalized_energy")
+        assert normalized[0] == pytest.approx(1.0, abs=0.15)
+        assert normalized[-1] < 0.95
+        assert result.metadata["average_reduction_percent_aged"] > 0.0
+
+    def test_fig4b_aggregates_from_table1(self, fast_workspace):
+        table1 = ExperimentResult(
+            experiment_id="table1",
+            title="stub",
+            columns=["network", "delta_vth_mv", "compression", "accuracy_loss_percent",
+                     "selected_method", "fp32_accuracy", "quantized_accuracy"],
+            rows=[
+                ["A", 10.0, "(1,1)/MSB", 0.2, "M4", 0.9, 0.898],
+                ["B", 10.0, "(1,1)/MSB", 0.6, "M3", 0.9, 0.894],
+                ["A", 50.0, "(3,4)/LSB", 2.0, "M4", 0.9, 0.88],
+                ["B", 50.0, "(3,4)/LSB", 4.0, "M4", 0.9, 0.86],
+            ],
+        )
+        result = run_fig4b(workspace=fast_workspace, table1=table1)
+        assert result.column_values("delta_vth_mv") == [10.0, 50.0]
+        means = result.column_values("mean")
+        assert means[0] == pytest.approx(0.4)
+        assert means[1] == pytest.approx(3.0)
+
+
+class TestRunner:
+    def test_registry_covers_all_paper_artifacts(self):
+        assert {
+            "fig1a", "fig1b", "fig2", "table1", "table2", "fig4a", "fig4b", "fig5",
+            "ablation_surrogate", "ablation_precision_scaling",
+        } <= set(EXPERIMENTS)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiments(["fig99"])
+
+    def test_runner_saves_json(self, tmp_path):
+        settings = ExperimentSettings.fast(max_alpha=3, max_beta=3)
+        results = run_experiments(["table2"], settings=settings, output_dir=tmp_path)
+        assert (tmp_path / "table2.json").exists()
+        assert results[0].experiment_id == "table2"
+
+    def test_cli_main(self, tmp_path, capsys):
+        exit_code = main(["--experiments", "fig4a", "--profile", "fast", "--output", str(tmp_path)])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "Fig. 4a" in captured.out
+        assert (tmp_path / "fig4a.json").exists()

@@ -1,0 +1,91 @@
+"""End-to-end integration tests of the paper's headline claims.
+
+These tests exercise the whole stack — aging-aware libraries, STA with case
+analysis, Algorithm 1's compression + method selection, integer inference —
+on a small but real configuration, and assert the *qualitative* results the
+paper reports:
+
+1. the unprotected MAC needs a ~23 % guardband for a 10-year lifetime,
+2. input compression selected by Algorithm 1 keeps the aged MAC at or below
+   the fresh critical path (no guardband, no timing errors),
+3. the resulting accuracy loss is graceful and grows with the aging level,
+4. an unprotected (uncompensated) NPU suffers a much larger accuracy drop
+   once aging-induced MSB errors appear.
+"""
+
+import pytest
+
+from repro.aging.bti import AgingScenario
+from repro.core.pipeline import DeviceToSystemPipeline
+from repro.nn.evaluate import evaluate_with_fault_injection
+from repro.quantization.registry import available_methods, get_method
+
+
+@pytest.fixture(scope="module")
+def pipeline(paper_mac, library_set):
+    return DeviceToSystemPipeline(
+        mac=paper_mac,
+        library_set=library_set,
+        scenario=AgingScenario(),
+        methods=available_methods(["M2", "M3", "M4"]),
+        max_alpha=4,
+        max_beta=4,
+    )
+
+
+class TestHeadlineClaims:
+    def test_guardband_elimination_gain_is_about_23_percent(self, pipeline):
+        guardband = pipeline.guardband()
+        assert guardband.guardband_percent == pytest.approx(23.0, abs=1.5)
+
+    def test_compensated_delay_never_exceeds_fresh_clock(self, pipeline):
+        for plan in pipeline.plan():
+            assert plan.normalized_compensated_delay <= 1.0 + 1e-9
+        final_plan = pipeline.plan_level(50.0)
+        assert final_plan.normalized_baseline_delay == pytest.approx(1.229, abs=0.02)
+
+    def test_graceful_accuracy_degradation_over_lifetime(self, pipeline, tiny_model, tiny_calibration, tiny_dataset):
+        results = pipeline.evaluate_network(
+            tiny_model,
+            tiny_calibration,
+            tiny_dataset.x_test,
+            tiny_dataset.y_test,
+            levels_mv=(10.0, 50.0),
+        )
+        losses = {result.delta_vth_mv: result.accuracy_loss_percent for result in results}
+        # Losses stay bounded (graceful) and the 10-year loss is moderate.
+        assert losses[10.0] <= 12.0
+        assert losses[50.0] <= 20.0
+        # The quantized NPU still clearly outperforms random guessing.
+        chance = 100.0 / tiny_dataset.num_classes
+        for result in results:
+            assert result.evaluation.quantized_accuracy * 100.0 > chance + 15.0
+
+    def test_unprotected_npu_degrades_much_more(self, pipeline, tiny_model, tiny_calibration, tiny_dataset):
+        protected = pipeline.evaluate_network(
+            tiny_model,
+            tiny_calibration,
+            tiny_dataset.x_test,
+            tiny_dataset.y_test,
+            levels_mv=(50.0,),
+        )[0]
+        # An unprotected NPU at heavy aging exhibits frequent MSB errors in its
+        # multiplications (Fig. 1a/1b); model that with a 1% flip probability.
+        unprotected_accuracy, _ = evaluate_with_fault_injection(
+            tiny_model,
+            get_method("M2"),
+            tiny_calibration,
+            tiny_dataset.x_test,
+            tiny_dataset.y_test,
+            flip_probability=1e-2,
+            repetitions=2,
+        )
+        unprotected_loss = (protected.evaluation.fp32_accuracy - unprotected_accuracy) * 100.0
+        assert unprotected_loss > protected.accuracy_loss_percent + 5.0
+
+    def test_selected_methods_come_from_the_library(self, pipeline, tiny_model, tiny_calibration, tiny_dataset):
+        results = pipeline.evaluate_network(
+            tiny_model, tiny_calibration, tiny_dataset.x_test, tiny_dataset.y_test, levels_mv=(40.0,)
+        )
+        assert results[0].selected_method in {"M2", "M3", "M4"}
+        assert set(results[0].per_method) == {"M2", "M3", "M4"}

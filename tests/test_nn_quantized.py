@@ -1,0 +1,153 @@
+"""Tests of integer (quantized) model execution and MSB fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.nn.evaluate import evaluate_with_fault_injection, quantize_and_evaluate
+from repro.nn.faults import MsbBitFlipInjector
+from repro.nn.quantized import QuantizationContext, QuantizedModel
+from repro.quantization.registry import METHOD_KEYS, get_method
+
+
+class TestQuantizationContext:
+    def test_finalize_requires_calibration(self):
+        context = QuantizationContext(get_method("M2"), activation_bits=8, weight_bits=8)
+        with pytest.raises(RuntimeError):
+            context.finalize()
+
+    def test_invalid_bit_widths(self):
+        with pytest.raises(ValueError):
+            QuantizationContext(get_method("M2"), activation_bits=0, weight_bits=8)
+        with pytest.raises(ValueError):
+            QuantizationContext(get_method("M2"), activation_bits=8, weight_bits=8, bias_bits=0)
+
+    def test_unquantized_layer_lookup_fails_cleanly(self, tiny_model, tiny_calibration, tiny_dataset):
+        quantized = QuantizedModel.build(
+            tiny_model, get_method("M2"), 8, 8, calibration_data=tiny_calibration
+        )
+        # A layer that never went through calibration is rejected explicitly.
+        from repro.nn.layers import Dense
+
+        foreign = Dense(4, 2, rng=0)
+        foreign.name = "foreign"
+        with pytest.raises(KeyError):
+            quantized.context.linear(foreign, np.zeros((1, 4)), foreign.weight.value, foreign.bias.value)
+
+
+class TestQuantizedModel:
+    def test_build_requires_finalized_context(self, tiny_model):
+        context = QuantizationContext(get_method("M2"), 8, 8)
+        with pytest.raises(ValueError):
+            QuantizedModel(tiny_model, context)
+
+    def test_eight_bit_quantization_preserves_accuracy(self, tiny_model, tiny_calibration, tiny_dataset):
+        fp32 = tiny_model.accuracy(tiny_dataset.x_test, tiny_dataset.y_test)
+        quantized = QuantizedModel.build(
+            tiny_model, get_method("M2"), 8, 8, calibration_data=tiny_calibration
+        )
+        accuracy = quantized.accuracy(tiny_dataset.x_test, tiny_dataset.y_test)
+        assert abs(fp32 - accuracy) <= 0.05
+
+    @pytest.mark.parametrize("key", METHOD_KEYS)
+    def test_all_methods_execute(self, key, tiny_model, tiny_calibration, tiny_dataset):
+        quantized = QuantizedModel.build(
+            tiny_model, get_method(key), 6, 6, calibration_data=tiny_calibration
+        )
+        predictions = quantized.predict(tiny_dataset.x_test[:16])
+        assert predictions.shape == (16,)
+
+    def test_aggressive_quantization_degrades_more(self, tiny_model, tiny_calibration, tiny_dataset):
+        fp32 = tiny_model.accuracy(tiny_dataset.x_test, tiny_dataset.y_test)
+        mild = quantize_and_evaluate(
+            tiny_model, get_method("M2"), 8, 8, tiny_calibration,
+            tiny_dataset.x_test, tiny_dataset.y_test, fp32_accuracy=fp32,
+        )
+        harsh = quantize_and_evaluate(
+            tiny_model, get_method("M2"), 3, 3, tiny_calibration,
+            tiny_dataset.x_test, tiny_dataset.y_test, fp32_accuracy=fp32,
+        )
+        assert harsh.quantized_accuracy <= mild.quantized_accuracy + 0.02
+        assert harsh.accuracy_loss_percent >= mild.accuracy_loss_percent - 2.0
+
+    def test_quantized_logits_close_to_fp32_at_8_bits(self, tiny_model, tiny_calibration, tiny_dataset):
+        quantized = QuantizedModel.build(
+            tiny_model, get_method("M2"), 8, 8, calibration_data=tiny_calibration
+        )
+        x = tiny_dataset.x_test[:8]
+        fp32_logits = tiny_model.predict_logits(x)
+        quant_logits = quantized.predict_logits(x)
+        scale = np.abs(fp32_logits).max() + 1e-9
+        assert np.abs(fp32_logits - quant_logits).max() / scale < 0.15
+
+    def test_evaluation_metadata(self, tiny_model, tiny_calibration, tiny_dataset):
+        evaluation = quantize_and_evaluate(
+            tiny_model, get_method("M4"), 5, 4, tiny_calibration,
+            tiny_dataset.x_test, tiny_dataset.y_test,
+        )
+        assert evaluation.method_key == "M4"
+        assert evaluation.activation_bits == 5
+        assert evaluation.weight_bits == 4
+        assert evaluation.bias_bits == 9
+        assert -100.0 <= evaluation.accuracy_loss_percent <= 100.0
+
+
+class TestFaultInjection:
+    def test_zero_probability_injects_nothing(self):
+        injector = MsbBitFlipInjector(probability=0.0, rng=0)
+        assert injector.accumulation_deltas(np.ones((4, 4)), np.ones((4, 4))) is None
+
+    def test_deltas_are_msb_magnitudes(self):
+        injector = MsbBitFlipInjector(probability=1.0, msb_bits=(15,), rng=0)
+        q_a = np.full((2, 3), 1.0)
+        q_w = np.full((3, 2), 1.0)
+        deltas = injector.accumulation_deltas(q_a, q_w)
+        # every product is 1 (bit 15 clear) so every delta is +2^15
+        assert deltas.sum() == pytest.approx(2 * 3 * 2 * (1 << 15))
+
+    def test_flip_direction_depends_on_bit_value(self):
+        injector = MsbBitFlipInjector(probability=1.0, msb_bits=(15,), rng=0)
+        q_a = np.full((1, 1), 255.0)
+        q_w = np.full((1, 1), 255.0)  # product 65025 has bit 15 set
+        deltas = injector.accumulation_deltas(q_a, q_w)
+        assert deltas[0, 0] == -(1 << 15)
+
+    def test_expected_fault_count_scales_with_probability(self):
+        injector = MsbBitFlipInjector(probability=0.01, rng=0)
+        assert injector.expected_faults(10_000) == pytest.approx(100.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MsbBitFlipInjector(probability=1.5)
+        with pytest.raises(ValueError):
+            MsbBitFlipInjector(probability=0.1, msb_bits=())
+        with pytest.raises(ValueError):
+            MsbBitFlipInjector(probability=0.1, msb_bits=(16,), product_bits=16)
+
+    def test_shape_mismatch_rejected(self):
+        injector = MsbBitFlipInjector(probability=0.5, rng=0)
+        with pytest.raises(ValueError):
+            injector.accumulation_deltas(np.ones((2, 3)), np.ones((4, 2)))
+
+    def test_accuracy_degrades_with_flip_probability(self, tiny_model, tiny_calibration, tiny_dataset):
+        method = get_method("M2")
+        clean, _ = evaluate_with_fault_injection(
+            tiny_model, method, tiny_calibration, tiny_dataset.x_test, tiny_dataset.y_test,
+            flip_probability=0.0, repetitions=1,
+        )
+        noisy, _ = evaluate_with_fault_injection(
+            tiny_model, method, tiny_calibration, tiny_dataset.x_test, tiny_dataset.y_test,
+            flip_probability=0.02, repetitions=2,
+        )
+        assert noisy < clean
+
+    def test_fault_injection_is_removable(self, tiny_model, tiny_calibration, tiny_dataset):
+        quantized = QuantizedModel.build(
+            tiny_model, get_method("M2"), 8, 8, calibration_data=tiny_calibration
+        )
+        baseline = quantized.accuracy(tiny_dataset.x_test, tiny_dataset.y_test)
+        quantized.set_fault_injector(MsbBitFlipInjector(probability=0.05, rng=1))
+        degraded = quantized.accuracy(tiny_dataset.x_test, tiny_dataset.y_test)
+        quantized.set_fault_injector(None)
+        restored = quantized.accuracy(tiny_dataset.x_test, tiny_dataset.y_test)
+        assert degraded <= baseline
+        assert restored == pytest.approx(baseline)

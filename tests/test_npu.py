@@ -1,0 +1,80 @@
+"""Tests of the systolic-array NPU performance model."""
+
+import pytest
+
+from repro.npu.performance import NpuPerformanceModel
+from repro.npu.systolic import LayerWorkload, SystolicArray, model_workloads
+from tests.conftest import build_tiny_model
+
+
+class TestLayerWorkload:
+    def test_mac_count(self):
+        workload = LayerWorkload(name="conv", rows=100, inner=27, cols=16)
+        assert workload.macs == 100 * 27 * 16
+
+
+class TestModelWorkloads:
+    def test_every_conv_and_dense_is_captured(self, tiny_dataset):
+        model = build_tiny_model(tiny_dataset.num_classes, tiny_dataset.image_size)
+        workloads = model_workloads(model, tiny_dataset.input_shape)
+        conv_dense_count = sum(
+            1 for _, layer in model.named_layers() if type(layer).__name__ in ("Conv2D", "Dense")
+        )
+        assert len(workloads) == conv_dense_count
+        assert all(workload.macs > 0 for workload in workloads)
+
+    def test_zoo_models_have_increasing_work_with_depth(self):
+        from repro.nn.zoo import build_model
+
+        shallow = build_model("resnet50", num_classes=4, image_size=16)
+        deep = build_model("resnet152", num_classes=4, image_size=16)
+        shallow_macs = sum(w.macs for w in model_workloads(shallow, (3, 16, 16)))
+        deep_macs = sum(w.macs for w in model_workloads(deep, (3, 16, 16)))
+        assert deep_macs > shallow_macs
+
+
+class TestSystolicArray:
+    def test_default_matches_edge_tpu(self):
+        array = SystolicArray()
+        assert array.rows == 64 and array.cols == 64
+        assert array.num_macs == 4096
+
+    def test_cycles_scale_with_workload(self):
+        array = SystolicArray(8, 8)
+        small = LayerWorkload("l", rows=16, inner=8, cols=8)
+        large = LayerWorkload("l", rows=16, inner=64, cols=64)
+        assert array.layer_cycles(large) > array.layer_cycles(small)
+
+    def test_utilization_bounded(self):
+        array = SystolicArray(8, 8)
+        workloads = [LayerWorkload("l", rows=64, inner=16, cols=16)]
+        utilization = array.utilization(workloads)
+        assert 0.0 < utilization <= 1.0
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            SystolicArray(0, 4)
+
+
+class TestNpuPerformanceModel:
+    def test_latency_and_throughput(self):
+        model = NpuPerformanceModel(SystolicArray(8, 8))
+        workloads = [LayerWorkload("l", rows=32, inner=16, cols=16)]
+        latency = model.inference_latency(workloads, clock_period_ps=1000.0)
+        assert latency.latency_us > 0
+        assert latency.throughput_inferences_per_second > 0
+
+    def test_speedup_equals_period_ratio(self):
+        model = NpuPerformanceModel(SystolicArray(8, 8))
+        workloads = [LayerWorkload("l", rows=32, inner=16, cols=16)]
+        assert model.speedup(workloads, baseline_period_ps=1230.0, optimized_period_ps=1000.0) == pytest.approx(1.23)
+
+    def test_guardband_loss(self):
+        assert NpuPerformanceModel.guardband_performance_loss_percent(0.23) == pytest.approx(23.0)
+        with pytest.raises(ValueError):
+            NpuPerformanceModel.guardband_performance_loss_percent(-0.1)
+
+    def test_invalid_period(self):
+        model = NpuPerformanceModel()
+        with pytest.raises(ValueError):
+            model.inference_latency([], clock_period_ps=0.0)

@@ -1,0 +1,93 @@
+"""Tests of switching-activity and energy estimation (Fig. 5 engine)."""
+
+import numpy as np
+import pytest
+
+from repro.core.padding import Padding, compressed_input_sampler
+from repro.power.energy import EnergyModel
+from repro.power.switching import estimate_switching_activity
+
+
+class TestSwitchingActivity:
+    def test_activity_is_positive_for_random_traffic(self, small_mac, rng):
+        activity = estimate_switching_activity(small_mac, num_transitions=50, rng=0)
+        assert activity.total_internal_toggles > 0
+        assert activity.input_toggles > 0
+        assert activity.average_toggles_per_transition > 0
+
+    def test_constant_traffic_produces_no_toggles(self, small_mac):
+        sampler = lambda _rng: {"a": 5, "b": 5, "c": 100}
+        activity = estimate_switching_activity(
+            small_mac, num_transitions=20, rng=0, input_sampler=sampler
+        )
+        assert activity.total_internal_toggles == 0
+        assert activity.input_toggles == 0
+
+    def test_toggle_bookkeeping_consistent(self, small_mac):
+        activity = estimate_switching_activity(small_mac, num_transitions=30, rng=1)
+        assert sum(activity.toggles_per_cell.values()) == activity.total_internal_toggles
+        assert set(activity.toggles_per_gate) == {gate.name for gate in small_mac.netlist.gates}
+
+    def test_invalid_transition_count(self, small_mac):
+        with pytest.raises(ValueError):
+            estimate_switching_activity(small_mac, num_transitions=0)
+
+
+class TestEnergyModel:
+    def test_energy_report_totals(self, small_mac, fresh_cells):
+        model = EnergyModel(fresh_cells)
+        report = model.estimate_operation_energy(small_mac, clock_period_ps=500.0, num_transitions=40, rng=0)
+        assert report.dynamic_energy_fj > 0
+        assert report.leakage_energy_fj > 0
+        assert report.total_energy_fj == pytest.approx(
+            report.dynamic_energy_fj + report.leakage_energy_fj
+        )
+        assert report.energy_per_operation_fj > 0
+
+    def test_compressed_traffic_uses_less_energy(self, paper_mac, fresh_cells):
+        model = EnergyModel(fresh_cells)
+        baseline = model.estimate_operation_energy(
+            paper_mac, clock_period_ps=900.0, num_transitions=60, rng=0
+        )
+        sampler = compressed_input_sampler(paper_mac, 4, 4, Padding.MSB)
+        compressed = model.estimate_operation_energy(
+            paper_mac, clock_period_ps=900.0, num_transitions=60, rng=0, input_sampler=sampler
+        )
+        assert compressed.energy_per_operation_fj < baseline.energy_per_operation_fj
+
+    def test_longer_period_increases_leakage_energy(self, small_mac, fresh_cells):
+        model = EnergyModel(fresh_cells)
+        short = model.estimate_operation_energy(small_mac, clock_period_ps=200.0, num_transitions=30, rng=0)
+        long = model.estimate_operation_energy(small_mac, clock_period_ps=800.0, num_transitions=30, rng=0)
+        assert long.leakage_energy_fj > short.leakage_energy_fj
+
+    def test_invalid_period(self, small_mac, fresh_cells):
+        with pytest.raises(ValueError):
+            EnergyModel(fresh_cells).estimate_operation_energy(small_mac, clock_period_ps=0.0)
+
+
+class TestCompressedInputSampler:
+    def test_msb_padding_keeps_values_in_low_range(self, paper_mac):
+        sampler = compressed_input_sampler(paper_mac, 3, 2, Padding.MSB)
+        generator = np.random.default_rng(0)
+        for _ in range(50):
+            inputs = sampler(generator)
+            assert 0 <= inputs["a"] < (1 << 5)
+            assert 0 <= inputs["b"] < (1 << 6)
+            assert 0 <= inputs["c"] < (1 << 17)
+
+    def test_lsb_padding_shifts_values_up(self, paper_mac):
+        sampler = compressed_input_sampler(paper_mac, 3, 2, Padding.LSB)
+        generator = np.random.default_rng(0)
+        saw_nonzero = False
+        for _ in range(50):
+            inputs = sampler(generator)
+            assert inputs["a"] % (1 << 3) == 0
+            assert inputs["b"] % (1 << 2) == 0
+            assert inputs["c"] % (1 << 5) == 0
+            saw_nonzero = saw_nonzero or inputs["a"] > 0
+        assert saw_nonzero
+
+    def test_out_of_range_compression_rejected(self, paper_mac):
+        with pytest.raises(ValueError):
+            compressed_input_sampler(paper_mac, 9, 0, Padding.MSB)

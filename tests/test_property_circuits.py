@@ -1,0 +1,102 @@
+"""Property-based tests (hypothesis) of the circuit substrate invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.mac import build_adder, build_mac, build_multiplier
+from repro.circuits.simulator import LogicSimulator
+from repro.core.padding import Padding, mac_case_analysis
+from repro.timing.sta import StaticTimingAnalyzer
+from repro.aging.cell_library import fresh_library
+from repro.utils import bitops
+
+# Shared circuit instances (building them inside @given bodies would dominate runtime).
+_ADDER6 = build_adder(6, "ripple")
+_ADDER6_SIM = LogicSimulator(_ADDER6.netlist)
+_MULT5 = build_multiplier(5, "array")
+_MULT5_SIM = LogicSimulator(_MULT5.netlist)
+_MULT5_WALLACE = build_multiplier(5, "wallace")
+_MULT5_WALLACE_SIM = LogicSimulator(_MULT5_WALLACE.netlist)
+_MAC = build_mac(multiplier_width=5, accumulator_width=12)
+_MAC_SIM = LogicSimulator(_MAC.netlist)
+_FRESH = fresh_library()
+_MAC8 = build_mac()
+_MAC8_STA = StaticTimingAnalyzer(_MAC8, _FRESH)
+_MAC8_FRESH_DELAY = _MAC8_STA.critical_path_delay()
+
+
+class TestArithmeticProperties:
+    @given(a=st.integers(0, 63), b=st.integers(0, 63))
+    @settings(max_examples=60, deadline=None)
+    def test_adder_matches_python_addition(self, a, b):
+        assert _ADDER6_SIM.evaluate({"a": a, "b": b})["out"] == a + b
+
+    @given(a=st.integers(0, 31), b=st.integers(0, 31))
+    @settings(max_examples=60, deadline=None)
+    def test_multiplier_matches_python_multiplication(self, a, b):
+        assert _MULT5_SIM.evaluate({"a": a, "b": b})["out"] == a * b
+
+    @given(a=st.integers(0, 31), b=st.integers(0, 31))
+    @settings(max_examples=60, deadline=None)
+    def test_array_and_wallace_architectures_agree(self, a, b):
+        assert (
+            _MULT5_SIM.evaluate({"a": a, "b": b})["out"]
+            == _MULT5_WALLACE_SIM.evaluate({"a": a, "b": b})["out"]
+        )
+
+    @given(a=st.integers(0, 31), b=st.integers(0, 31), c=st.integers(0, 4095))
+    @settings(max_examples=60, deadline=None)
+    def test_mac_matches_python_mac(self, a, b, c):
+        assert _MAC_SIM.evaluate({"a": a, "b": b, "c": c})["out"] == a * b + c
+
+    @given(a=st.integers(0, 31), b=st.integers(0, 31))
+    @settings(max_examples=40, deadline=None)
+    def test_multiplication_is_commutative_in_the_circuit(self, a, b):
+        assert (
+            _MULT5_SIM.evaluate({"a": a, "b": b})["out"]
+            == _MULT5_SIM.evaluate({"a": b, "b": a})["out"]
+        )
+
+
+class TestTimingProperties:
+    @given(alpha=st.integers(0, 6), beta=st.integers(0, 6), padding=st.sampled_from(list(Padding)))
+    @settings(max_examples=25, deadline=None)
+    def test_compression_never_increases_delay(self, alpha, beta, padding):
+        case = mac_case_analysis(alpha, beta, padding)
+        assert _MAC8_STA.critical_path_delay(case) <= _MAC8_FRESH_DELAY + 1e-9
+
+    @given(
+        alpha=st.integers(0, 5),
+        beta=st.integers(0, 5),
+        extra=st.integers(1, 3),
+        padding=st.sampled_from(list(Padding)),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_delay_is_monotone_in_alpha(self, alpha, beta, extra, padding):
+        smaller = _MAC8_STA.critical_path_delay(mac_case_analysis(alpha, beta, padding))
+        larger = _MAC8_STA.critical_path_delay(mac_case_analysis(min(alpha + extra, 8), beta, padding))
+        assert larger <= smaller + 1e-9
+
+
+class TestBitopsProperties:
+    @given(value=st.integers(0, 2**16 - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_bits_round_trip(self, value):
+        assert bitops.bits_to_int(bitops.int_to_bits(value, 16)) == value
+
+    @given(value=st.integers(0, 2**16 - 1), bit=st.integers(0, 15))
+    @settings(max_examples=80, deadline=None)
+    def test_double_flip_is_identity(self, value, bit):
+        assert bitops.bit_flip(bitops.bit_flip(value, bit), bit) == value
+
+    @given(value=st.integers(-(2**7), 2**7 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_twos_complement_round_trip(self, value):
+        assert bitops.sign_extend(bitops.to_twos_complement(value, 8), 8) == value
+
+    @given(a=st.integers(0, 2**12 - 1), b=st.integers(0, 2**12 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_hamming_distance_symmetry_and_bounds(self, a, b):
+        distance = bitops.hamming_distance(a, b)
+        assert distance == bitops.hamming_distance(b, a)
+        assert 0 <= distance <= 12
+        assert (distance == 0) == (a == b)

@@ -1,0 +1,87 @@
+"""Property-based tests of quantization and aging-model invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.aging.bti import BTIModel
+from repro.aging.delay_model import AlphaPowerDelayModel
+from repro.quantization.base import QuantParams
+from repro.quantization.registry import get_method
+
+_finite_floats = st.floats(
+    min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False, width=64
+)
+
+
+class TestQuantParamsProperties:
+    @given(
+        values=npst.arrays(np.float64, st.integers(4, 60), elements=_finite_floats),
+        num_bits=st.integers(2, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_codes_stay_in_range(self, values, num_bits):
+        params = QuantParams.from_range(float(values.min()), float(values.max()), num_bits)
+        codes = params.quantize(values)
+        assert codes.min() >= 0
+        assert codes.max() <= params.max_level
+
+    @given(
+        values=npst.arrays(np.float64, st.integers(4, 60), elements=_finite_floats),
+        num_bits=st.integers(2, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_error_bounded_inside_range(self, values, num_bits):
+        params = QuantParams.from_range(float(values.min()), float(values.max()), num_bits)
+        restored = params.quantize_dequantize(values)
+        step = float(np.asarray(params.scale))
+        assert np.all(np.abs(restored - values) <= step * 0.5 + 1e-9)
+
+    @given(
+        values=npst.arrays(np.float64, st.integers(8, 60), elements=_finite_floats),
+        key=st.sampled_from(["M1", "M2", "M4", "M5"]),
+        num_bits=st.integers(3, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_methods_produce_valid_activation_params(self, values, key, num_bits):
+        method = get_method(key)
+        params = method.activation_params(values, num_bits)
+        codes = params.quantize(values)
+        assert codes.min() >= 0 and codes.max() <= params.max_level
+        assert np.isfinite(params.dequantize(codes)).all()
+
+    @given(
+        num_bits_low=st.integers(2, 5),
+        extra_bits=st.integers(1, 4),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_error_monotone_in_bits(self, num_bits_low, extra_bits, seed):
+        values = np.random.default_rng(seed).normal(0.0, 1.0, 300)
+        coarse = QuantParams.symmetric(3.0, num_bits_low).quantization_error(values)
+        fine = QuantParams.symmetric(3.0, num_bits_low + extra_bits).quantization_error(values)
+        assert fine <= coarse + 1e-12
+
+
+class TestAgingModelProperties:
+    @given(years=st.floats(0.01, 10.0), extra=st.floats(0.01, 10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_bti_is_monotone_in_time(self, years, extra):
+        model = BTIModel()
+        assert model.delta_vth_mv(years + extra) > model.delta_vth_mv(years)
+
+    @given(years=st.floats(0.01, 10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_bti_inverse_round_trip(self, years):
+        model = BTIModel()
+        recovered = model.years_for_delta_vth(model.delta_vth_mv(years))
+        assert abs(recovered - years) / years < 1e-6
+
+    @given(delta=st.floats(0.0, 200.0), extra=st.floats(0.1, 100.0))
+    @settings(max_examples=60, deadline=None)
+    def test_delay_degradation_monotone(self, delta, extra):
+        model = AlphaPowerDelayModel()
+        if delta + extra >= model.max_delta_vth_mv():
+            return
+        assert model.degradation_factor(delta + extra) > model.degradation_factor(delta)
+        assert model.degradation_factor(delta) >= 1.0

@@ -1,0 +1,169 @@
+"""Tests of the quantization primitives and the M1..M5 method library."""
+
+import numpy as np
+import pytest
+
+from repro.quantization.aciq import ACIQQuantizer, corrected_weight_params, laplace_clip_multiplier
+from repro.quantization.asymmetric import AsymmetricMinMaxQuantizer
+from repro.quantization.base import QuantParams, TensorStatistics
+from repro.quantization.lapq import LAPQQuantizer, lp_exponent_for_bits
+from repro.quantization.registry import METHOD_KEYS, available_methods, get_method
+from repro.quantization.uniform import UniformSymmetricQuantizer
+
+
+class TestQuantParams:
+    def test_from_range_codes_are_bounded(self):
+        params = QuantParams.from_range(-1.0, 3.0, 8)
+        values = np.linspace(-2.0, 4.0, 101)
+        codes = params.quantize(values)
+        assert codes.min() >= 0 and codes.max() <= 255
+
+    def test_zero_is_exactly_representable(self):
+        params = QuantParams.from_range(-1.3, 2.7, 8)
+        assert params.dequantize(params.quantize(np.array([0.0])))[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_round_trip_error_bounded_by_half_step(self):
+        params = QuantParams.from_range(0.0, 10.0, 8)
+        values = np.linspace(0.0, 10.0, 257)
+        error = np.abs(params.quantize_dequantize(values) - values)
+        assert error.max() <= float(np.asarray(params.scale)) / 2 + 1e-12
+
+    def test_symmetric_grid_centred(self):
+        params = QuantParams.symmetric(2.0, 8)
+        assert params.dequantize(params.quantize(np.array([0.0])))[0] == pytest.approx(0.0, abs=1e-9)
+        assert params.quantize(np.array([100.0]))[0] == 255
+
+    def test_more_bits_reduce_error(self):
+        values = np.random.default_rng(0).normal(0, 1, 500)
+        coarse = QuantParams.symmetric(3.0, 4).quantization_error(values)
+        fine = QuantParams.symmetric(3.0, 8).quantization_error(values)
+        assert fine < coarse
+
+    def test_per_channel_broadcasting(self):
+        weights = np.stack([np.full((3, 3), 0.1), np.full((3, 3), 10.0)])
+        params = QuantParams.symmetric(np.array([0.1, 10.0]), 8, channel_axis=0)
+        restored = params.dequantize(params.quantize(weights))
+        assert np.allclose(restored, weights, atol=0.1)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            QuantParams(scale=np.array(0.0), zero_point=np.array(0.0), num_bits=8)
+        with pytest.raises(ValueError):
+            QuantParams(scale=np.array(1.0), zero_point=np.array(0.0), num_bits=0)
+
+    def test_statistics(self):
+        stats = TensorStatistics.from_array(np.array([1.0, -1.0, 3.0, -3.0]))
+        assert stats.minimum == -3.0 and stats.maximum == 3.0
+        assert stats.mean == pytest.approx(0.0)
+        with pytest.raises(ValueError):
+            TensorStatistics.from_array(np.array([]))
+
+
+@pytest.fixture(scope="module")
+def gaussian_weights():
+    return np.random.default_rng(1).normal(0.0, 0.2, size=(8, 4, 3, 3))
+
+
+@pytest.fixture(scope="module")
+def relu_activations():
+    samples = np.random.default_rng(2).normal(0.0, 1.0, size=(64, 32))
+    return np.maximum(samples, 0.0)
+
+
+class TestMethodLibrary:
+    @pytest.mark.parametrize("key", METHOD_KEYS)
+    def test_weight_round_trip_reasonable(self, key, gaussian_weights):
+        method = get_method(key)
+        params = method.weight_params(gaussian_weights, 8)
+        restored = params.dequantize(params.quantize(gaussian_weights))
+        relative_error = np.abs(restored - gaussian_weights).mean() / np.abs(gaussian_weights).mean()
+        assert relative_error < 0.05
+
+    @pytest.mark.parametrize("key", METHOD_KEYS)
+    def test_activation_params_cover_post_relu_range(self, key, relu_activations):
+        method = get_method(key)
+        params = method.activation_params(relu_activations, 8)
+        codes = params.quantize(relu_activations)
+        assert codes.min() >= 0 and codes.max() <= 255
+        restored = params.dequantize(codes)
+        assert np.abs(restored - relu_activations).mean() < 0.1
+
+    @pytest.mark.parametrize("key", METHOD_KEYS)
+    def test_lower_bits_increase_error(self, key, gaussian_weights):
+        method = get_method(key)
+        error_8 = method.weight_params(gaussian_weights, 8).quantization_error(gaussian_weights)
+        error_3 = method.weight_params(gaussian_weights, 3).quantization_error(gaussian_weights)
+        assert error_3 > error_8
+
+    def test_registry_keys_and_aliases(self):
+        assert [method.key for method in available_methods()] == list(METHOD_KEYS)
+        assert isinstance(get_method("aciq"), ACIQQuantizer)
+        assert isinstance(get_method("lapq"), LAPQQuantizer)
+        assert isinstance(get_method("minmax"), AsymmetricMinMaxQuantizer)
+        assert isinstance(get_method("uniform"), UniformSymmetricQuantizer)
+        with pytest.raises(KeyError):
+            get_method("M9")
+
+    def test_bias_correction_flags(self):
+        assert get_method("M4").wants_bias_correction is True
+        assert get_method("M5").wants_bias_correction is False
+        assert get_method("M1").wants_bias_correction is False
+
+
+class TestACIQ:
+    def test_clipping_tightens_with_fewer_bits(self):
+        assert laplace_clip_multiplier(2) < laplace_clip_multiplier(8)
+
+    def test_heavy_tailed_tensor_gets_clipped(self):
+        rng = np.random.default_rng(3)
+        values = rng.laplace(0.0, 0.1, size=5000)
+        values[:5] = 50.0  # extreme outliers
+        params = ACIQQuantizer(bias_correction=False).weight_params(values.reshape(1, -1), 4)
+        max_representable = float(np.max(np.abs(params.dequantize(np.array([0, 15])))))
+        assert max_representable < 40.0
+
+    def test_clipping_beats_minmax_on_outliers(self):
+        rng = np.random.default_rng(4)
+        values = rng.normal(0.0, 0.1, size=(4, 1000))
+        values[:, 0] = 1.5
+        aciq_error = ACIQQuantizer(bias_correction=False).weight_params(values, 3).quantization_error(values)
+        minmax_error = AsymmetricMinMaxQuantizer().weight_params(values, 3).quantization_error(values)
+        assert aciq_error < minmax_error
+
+    def test_bias_correction_restores_channel_means(self, gaussian_weights):
+        method = ACIQQuantizer(bias_correction=True)
+        encode = method.weight_params(gaussian_weights, 3)
+        corrected = corrected_weight_params(gaussian_weights, encode, channel_axis=0)
+        codes = encode.quantize(gaussian_weights)
+        plain_means = encode.dequantize(codes).reshape(8, -1).mean(axis=1)
+        corrected_means = corrected.dequantize(codes).reshape(8, -1).mean(axis=1)
+        true_means = gaussian_weights.reshape(8, -1).mean(axis=1)
+        assert np.abs(corrected_means - true_means).mean() < np.abs(plain_means - true_means).mean() + 1e-12
+
+    def test_invalid_prior(self):
+        with pytest.raises(ValueError):
+            ACIQQuantizer(prior="cauchy")
+
+
+class TestLAPQ:
+    def test_exponent_mapping(self):
+        assert lp_exponent_for_bits(2) == pytest.approx(2.0)
+        assert lp_exponent_for_bits(8) == pytest.approx(4.0)
+        assert 2.0 <= lp_exponent_for_bits(5) <= 4.0
+
+    def test_clip_never_exceeds_max_abs(self, gaussian_weights):
+        params = LAPQQuantizer().weight_params(gaussian_weights, 4, per_channel=False)
+        grid_max = float(np.max(np.abs(params.dequantize(np.array([0, params.max_level])))))
+        assert grid_max <= np.abs(gaussian_weights).max() * 1.05
+
+    def test_objective_improves_over_no_clipping(self):
+        rng = np.random.default_rng(5)
+        values = rng.normal(0.0, 0.05, size=4000)
+        values[:30] = 1.5
+        lapq_error = LAPQQuantizer().weight_params(values.reshape(1, -1), 4).quantization_error(values)
+        naive_error = UniformSymmetricQuantizer().weight_params(values.reshape(1, -1), 4).quantization_error(values)
+        assert lapq_error < naive_error
+
+    def test_invalid_candidates(self):
+        with pytest.raises(ValueError):
+            LAPQQuantizer(num_candidates=1)

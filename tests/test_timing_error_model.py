@@ -1,0 +1,90 @@
+"""Tests of the aged-circuit timing-error characterisation (Fig. 1a engine)."""
+
+import pytest
+
+from repro.circuits.mac import build_multiplier
+from repro.timing.error_model import characterize_timing_errors, sweep_timing_errors
+from repro.timing.sta import StaticTimingAnalyzer
+
+
+@pytest.fixture(scope="module")
+def multiplier6():
+    """A 6x6 multiplier: large enough to exhibit MSB-dominated errors, small
+    enough for fast Monte-Carlo characterisation."""
+    return build_multiplier(6, "array")
+
+
+class TestCharacterizeTimingErrors:
+    def test_fresh_circuit_is_error_free(self, multiplier6, library_set):
+        period = StaticTimingAnalyzer(multiplier6, library_set.fresh).critical_path_delay()
+        stats = characterize_timing_errors(
+            multiplier6, library_set.fresh, period, num_samples=60, rng=0,
+            effective_output_width=12,
+        )
+        assert stats.error_rate == 0.0
+        assert stats.mean_error_distance == 0.0
+        assert stats.msb_flip_probability == 0.0
+
+    def test_aged_circuit_at_fresh_clock_produces_errors(self, multiplier6, library_set):
+        period = StaticTimingAnalyzer(multiplier6, library_set.fresh).critical_path_delay()
+        stats = characterize_timing_errors(
+            multiplier6, library_set.library(50.0), period, num_samples=200, rng=0,
+            effective_output_width=12,
+        )
+        assert stats.error_rate > 0.0
+        assert stats.mean_error_distance > 0.0
+
+    def test_generous_clock_suppresses_errors_even_when_aged(self, multiplier6, library_set):
+        aged = library_set.library(50.0)
+        generous = StaticTimingAnalyzer(multiplier6, aged).critical_path_delay() + 1.0
+        stats = characterize_timing_errors(
+            multiplier6, aged, generous, num_samples=60, rng=0, effective_output_width=12
+        )
+        assert stats.error_rate == 0.0
+
+    def test_bit_flip_probabilities_shape(self, multiplier6, library_set):
+        period = StaticTimingAnalyzer(multiplier6, library_set.fresh).critical_path_delay()
+        stats = characterize_timing_errors(
+            multiplier6, library_set.library(40.0), period, num_samples=80, rng=1,
+            effective_output_width=12,
+        )
+        assert stats.output_width == 12
+        assert all(0.0 <= p <= 1.0 for p in stats.bit_flip_probabilities)
+
+    def test_invalid_arguments(self, multiplier6, library_set):
+        period = 100.0
+        with pytest.raises(ValueError):
+            characterize_timing_errors(multiplier6, library_set.fresh, period, num_samples=0)
+        with pytest.raises(ValueError):
+            characterize_timing_errors(multiplier6, library_set.fresh, 0.0, num_samples=10)
+        with pytest.raises(KeyError):
+            characterize_timing_errors(
+                multiplier6, library_set.fresh, period, num_samples=10, output_bus="product"
+            )
+        with pytest.raises(ValueError):
+            characterize_timing_errors(
+                multiplier6, library_set.fresh, period, num_samples=10, msb_count=99
+            )
+
+
+class TestSweep:
+    def test_sweep_reports_every_level(self, multiplier6, library_set):
+        results = sweep_timing_errors(
+            multiplier6,
+            library_set,
+            levels_mv=(0.0, 30.0, 50.0),
+            num_samples=80,
+            rng=0,
+            effective_output_width=12,
+        )
+        assert [entry.delta_vth_mv for entry in results] == [0.0, 30.0, 50.0]
+        assert results[0].error_rate == 0.0
+        # Errors grow (weakly) with aging severity.
+        assert results[-1].mean_error_distance >= results[1].mean_error_distance
+        assert results[-1].error_rate > 0.0
+
+    def test_sweep_uses_fresh_clock_for_all_levels(self, multiplier6, library_set):
+        results = sweep_timing_errors(
+            multiplier6, library_set, levels_mv=(0.0, 50.0), num_samples=20, rng=0
+        )
+        assert results[0].clock_period_ps == results[1].clock_period_ps

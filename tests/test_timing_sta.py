@@ -1,0 +1,91 @@
+"""Tests of the static timing analysis engine and its case-analysis mode."""
+
+import pytest
+
+from repro.circuits.mac import build_mac, build_multiplier
+from repro.core.padding import Padding, mac_case_analysis, multiplier_case_analysis
+from repro.timing.sta import StaticTimingAnalyzer
+
+
+class TestCriticalPath:
+    def test_positive_delay(self, small_mac, fresh_cells):
+        assert StaticTimingAnalyzer(small_mac, fresh_cells).critical_path_delay() > 0
+
+    def test_wider_multiplier_is_slower(self, fresh_cells):
+        narrow = StaticTimingAnalyzer(build_multiplier(4), fresh_cells).critical_path_delay()
+        wide = StaticTimingAnalyzer(build_multiplier(8), fresh_cells).critical_path_delay()
+        assert wide > narrow
+
+    def test_aging_scales_critical_path(self, small_mac, library_set):
+        fresh = StaticTimingAnalyzer(small_mac, library_set.fresh).critical_path_delay()
+        aged = StaticTimingAnalyzer(small_mac, library_set.library(50.0)).critical_path_delay()
+        assert aged / fresh == pytest.approx(
+            library_set.library(50.0).delay_degradation_factor, rel=1e-9
+        )
+
+    def test_critical_path_structure(self, small_mac, fresh_cells):
+        analyzer = StaticTimingAnalyzer(small_mac, fresh_cells)
+        path = analyzer.critical_path()
+        assert path.delay_ps == pytest.approx(analyzer.critical_path_delay())
+        assert path.depth >= 2
+        assert path.endpoint.startswith("out") or path.endpoint in small_mac.netlist.nets
+
+    def test_slack_and_meets_timing(self, small_mac, fresh_cells):
+        analyzer = StaticTimingAnalyzer(small_mac, fresh_cells)
+        delay = analyzer.critical_path_delay()
+        assert analyzer.meets_timing(delay + 1.0)
+        assert not analyzer.meets_timing(delay - 1.0)
+        assert analyzer.slack_ps(delay) == pytest.approx(0.0, abs=1e-9)
+        with pytest.raises(ValueError):
+            analyzer.slack_ps(0.0)
+
+
+class TestCaseAnalysis:
+    def test_compression_reduces_delay(self, fresh_cells):
+        multiplier = build_multiplier(8, "array")
+        analyzer = StaticTimingAnalyzer(multiplier, fresh_cells)
+        baseline = analyzer.critical_path_delay()
+        compressed = analyzer.critical_path_delay(
+            multiplier_case_analysis(4, 4, Padding.MSB, width=8)
+        )
+        assert compressed < baseline
+
+    def test_compression_monotone_in_alpha(self, fresh_cells):
+        multiplier = build_multiplier(8, "array")
+        analyzer = StaticTimingAnalyzer(multiplier, fresh_cells)
+        delays = [
+            analyzer.critical_path_delay(multiplier_case_analysis(alpha, 0, Padding.MSB))
+            for alpha in range(0, 7)
+        ]
+        for previous, current in zip(delays, delays[1:]):
+            assert current <= previous + 1e-9
+
+    def test_msb_and_lsb_padding_differ(self, fresh_cells):
+        mac = build_mac()
+        analyzer = StaticTimingAnalyzer(mac, fresh_cells)
+        msb = analyzer.critical_path_delay(mac_case_analysis(3, 3, Padding.MSB))
+        lsb = analyzer.critical_path_delay(mac_case_analysis(3, 3, Padding.LSB))
+        assert msb != lsb
+
+    def test_aged_compressed_can_beat_fresh_uncompressed(self, library_set):
+        mac = build_mac()
+        fresh_delay = StaticTimingAnalyzer(mac, library_set.fresh).critical_path_delay()
+        aged_analyzer = StaticTimingAnalyzer(mac, library_set.library(50.0))
+        compressed = aged_analyzer.critical_path_delay(mac_case_analysis(4, 4, Padding.LSB))
+        assert compressed <= fresh_delay
+
+    def test_unknown_case_net_rejected(self, small_mac, fresh_cells):
+        analyzer = StaticTimingAnalyzer(small_mac, fresh_cells)
+        with pytest.raises(KeyError):
+            analyzer.critical_path_delay({"nonexistent[0]": 0})
+
+    def test_invalid_case_value_rejected(self, small_mac, fresh_cells):
+        analyzer = StaticTimingAnalyzer(small_mac, fresh_cells)
+        with pytest.raises(ValueError):
+            analyzer.critical_path_delay({"a[0]": 2})
+
+    def test_fully_constant_inputs_give_zero_delay(self, small_multiplier, fresh_cells):
+        analyzer = StaticTimingAnalyzer(small_multiplier, fresh_cells)
+        case = {f"a[{i}]": 0 for i in range(4)}
+        case.update({f"b[{i}]": 0 for i in range(4)})
+        assert analyzer.critical_path_delay(case) == 0.0

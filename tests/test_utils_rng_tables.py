@@ -1,0 +1,53 @@
+"""Unit tests for repro.utils.rng and repro.utils.tables."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_rng, make_rng
+from repro.utils.tables import format_table
+
+
+class TestMakeRng:
+    def test_none_is_deterministic(self):
+        assert make_rng(None).integers(0, 1000) == make_rng(None).integers(0, 1000)
+
+    def test_same_seed_same_stream(self):
+        assert make_rng(42).integers(0, 10**6) == make_rng(42).integers(0, 10**6)
+
+    def test_different_seed_different_stream(self):
+        draws_a = make_rng(1).integers(0, 10**9, size=4)
+        draws_b = make_rng(2).integers(0, 10**9, size=4)
+        assert not np.array_equal(draws_a, draws_b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert make_rng(generator) is generator
+
+
+class TestDeriveRng:
+    def test_contexts_are_independent(self):
+        a = derive_rng(0, "dataset").integers(0, 10**9, size=4)
+        b = derive_rng(0, "weights").integers(0, 10**9, size=4)
+        assert not np.array_equal(a, b)
+
+    def test_same_context_is_reproducible(self):
+        a = derive_rng(5, "x").integers(0, 10**9, size=4)
+        b = derive_rng(5, "x").integers(0, 10**9, size=4)
+        assert np.array_equal(a, b)
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 2.25]], title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.500" in text and "2.250" in text
+
+    def test_column_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_float_format(self):
+        text = format_table(["x"], [[3.14159]], float_format=".1f")
+        assert "3.1" in text and "3.14" not in text
