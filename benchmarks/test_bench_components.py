@@ -56,6 +56,48 @@ def test_bench_event_driven_timed_simulation(benchmark, bench_workspace, mac_uni
     assert evaluation.final_outputs["out"] >= 0
 
 
+def test_bench_batched_error_sweep_speedup(benchmark, bench_workspace, mac_unit):
+    """The bit-parallel engine must beat the scalar path by >= 10x.
+
+    Both engines run the same Monte-Carlo error characterisation ("settle"
+    arrival model, identical statistics); the benchmark records the batched
+    run and the assertion compares per-sample wall-clock throughput.
+    """
+    import time
+
+    from repro.timing.error_model import characterize_timing_errors
+
+    library_set = bench_workspace.library_set
+    library = library_set.library(50.0)
+    period = StaticTimingAnalyzer(mac_unit, library_set.fresh).critical_path_delay()
+
+    batch_samples = 2000
+    scalar_samples = 200
+
+    def batched():
+        return characterize_timing_errors(
+            mac_unit, library, period, num_samples=batch_samples, rng=0,
+            arrival_model="settle", engine="batch",
+        )
+
+    stats = benchmark.pedantic(batched, rounds=1, iterations=1)
+    assert stats.error_rate > 0.0
+
+    batch_elapsed = benchmark.stats.stats.mean
+    start = time.perf_counter()
+    characterize_timing_errors(
+        mac_unit, library, period, num_samples=scalar_samples, rng=0,
+        arrival_model="settle", engine="scalar",
+    )
+    scalar_elapsed = time.perf_counter() - start
+
+    scalar_per_sample = scalar_elapsed / scalar_samples
+    batch_per_sample = batch_elapsed / batch_samples
+    speedup = scalar_per_sample / batch_per_sample
+    benchmark.extra_info["speedup_vs_scalar"] = speedup
+    assert speedup >= 10.0
+
+
 def test_bench_quantized_inference(benchmark, bench_workspace):
     pretrained = bench_workspace.model(bench_workspace.settings.table1_networks[0])
     quantized = QuantizedModel.build(

@@ -103,6 +103,11 @@ class CellLibrary:
         self.delay_model = delay_model or AlphaPowerDelayModel()
         self._delay_scale = self.delay_model.degradation_factor(self.delta_vth_mv)
         self._leakage_scale = 10.0 ** (-self.delta_vth_mv / _LEAKAGE_SLOPE_MV_PER_DECADE)
+        # Memoised (cell, fanout) -> delay lookups: every simulator and STA
+        # engine built against this library asks for the same few hundred
+        # combinations, and Monte-Carlo sweeps rebuild those engines per
+        # ΔVth level.
+        self._delay_cache: dict[tuple[str, int], float] = {}
 
     # ------------------------------------------------------------------ cells
     def cell(self, name: str) -> CellSpec:
@@ -135,9 +140,15 @@ class CellLibrary:
         """Aged propagation delay of ``cell_name`` driving ``fanout`` loads."""
         if fanout < 0:
             raise ValueError("fanout must be non-negative")
+        key = (cell_name, fanout)
+        cached = self._delay_cache.get(key)
+        if cached is not None:
+            return cached
         spec = self.cell(cell_name)
         fresh = spec.intrinsic_delay_ps + spec.load_delay_ps * max(fanout, 1)
-        return fresh * self._delay_scale
+        delay = fresh * self._delay_scale
+        self._delay_cache[key] = delay
+        return delay
 
     # ------------------------------------------------------------------ power
     def switching_energy_fj(self, cell_name: str) -> float:

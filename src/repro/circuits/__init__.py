@@ -12,10 +12,16 @@ package provides the equivalent structural view in pure Python:
 * :mod:`repro.circuits.mac` — the MAC unit builder used as the paper's
   driving circuit,
 * :mod:`repro.circuits.simulator` — zero-delay functional simulation and the
-  two-vector timed simulation used for aged-circuit error characterisation.
+  two-vector timed simulation used for aged-circuit error characterisation,
+  in scalar (one vector at a time) and bit-parallel batched variants.
 """
 
-from repro.circuits.gates import CELL_FUNCTIONS, evaluate_cell
+from repro.circuits.gates import (
+    CELL_FUNCTIONS,
+    WORD_CELL_FUNCTIONS,
+    evaluate_cell,
+    evaluate_cell_word,
+)
 from repro.circuits.netlist import Gate, Net, Netlist
 from repro.circuits.adders import (
     carry_select_adder,
@@ -25,11 +31,20 @@ from repro.circuits.adders import (
 )
 from repro.circuits.multipliers import array_multiplier, wallace_tree_multiplier
 from repro.circuits.mac import ArithmeticUnit, build_mac, build_multiplier, build_adder
-from repro.circuits.simulator import LogicSimulator, TimingSimulator, TimedEvaluation
+from repro.circuits.simulator import (
+    BatchLogicSimulator,
+    BatchTimedEvaluation,
+    BatchTimingSimulator,
+    LogicSimulator,
+    TimedEvaluation,
+    TimingSimulator,
+)
 
 __all__ = [
     "CELL_FUNCTIONS",
+    "WORD_CELL_FUNCTIONS",
     "evaluate_cell",
+    "evaluate_cell_word",
     "Gate",
     "Net",
     "Netlist",
@@ -46,4 +61,7 @@ __all__ = [
     "LogicSimulator",
     "TimingSimulator",
     "TimedEvaluation",
+    "BatchLogicSimulator",
+    "BatchTimingSimulator",
+    "BatchTimedEvaluation",
 ]

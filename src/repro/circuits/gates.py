@@ -4,6 +4,15 @@ Each entry maps a cell name (matching :mod:`repro.aging.cell_library`) to a
 function over 0/1 input values.  The functions are used by the zero-delay
 logic simulator, the timed simulator and the constant-propagation pass of
 the STA engine.
+
+Two function tables are provided:
+
+* :data:`CELL_FUNCTIONS` — scalar 0/1 semantics, one call per vector.
+* :data:`WORD_CELL_FUNCTIONS` — bit-parallel word semantics for the batched
+  simulators: every argument is an arbitrary-precision integer whose bit
+  ``k`` holds the value of Monte-Carlo lane ``k``, and the extra leading
+  ``mask`` argument (``(1 << lanes) - 1``) implements negation without
+  producing negative numbers.  One call evaluates the cell for every lane.
 """
 
 from __future__ import annotations
@@ -86,6 +95,96 @@ CELL_INPUT_COUNTS: dict[str, int] = {
     "AOI21": 3,
     "OAI21": 3,
 }
+
+
+def _winv(mask: int, a: int) -> int:
+    return mask ^ a
+
+
+def _wbuf(mask: int, a: int) -> int:
+    return a
+
+
+def _wnand2(mask: int, a: int, b: int) -> int:
+    return mask ^ (a & b)
+
+
+def _wnor2(mask: int, a: int, b: int) -> int:
+    return mask ^ (a | b)
+
+
+def _wand2(mask: int, a: int, b: int) -> int:
+    return a & b
+
+
+def _wor2(mask: int, a: int, b: int) -> int:
+    return a | b
+
+
+def _wxor2(mask: int, a: int, b: int) -> int:
+    return a ^ b
+
+
+def _wxnor2(mask: int, a: int, b: int) -> int:
+    return mask ^ (a ^ b)
+
+
+def _wmux2(mask: int, a: int, b: int, sel: int) -> int:
+    """Lane-wise 2:1 multiplexer: ``a`` where ``sel`` is 0, ``b`` where 1."""
+    return (a & (mask ^ sel)) | (b & sel)
+
+
+def _waoi21(mask: int, a: int, b: int, c: int) -> int:
+    return mask ^ ((a & b) | c)
+
+
+def _woai21(mask: int, a: int, b: int, c: int) -> int:
+    return mask ^ ((a | b) & c)
+
+
+#: Word-level (bit-parallel) cell semantics; see the module docstring.
+WORD_CELL_FUNCTIONS: dict[str, Callable[..., int]] = {
+    "INV": _winv,
+    "BUF": _wbuf,
+    "NAND2": _wnand2,
+    "NOR2": _wnor2,
+    "AND2": _wand2,
+    "OR2": _wor2,
+    "XOR2": _wxor2,
+    "XNOR2": _wxnor2,
+    "MUX2": _wmux2,
+    "AOI21": _waoi21,
+    "OAI21": _woai21,
+}
+
+
+def evaluate_cell_word(cell_name: str, inputs: Sequence[int], lanes: int) -> int:
+    """Evaluate ``cell_name`` bit-parallel over ``lanes`` Monte-Carlo lanes.
+
+    Raises:
+        KeyError: for an unknown cell.
+        ValueError: if the number of inputs does not match the cell, if
+            ``lanes`` is not positive, or if an input word has bits set
+            beyond lane ``lanes - 1``.
+    """
+    try:
+        func = WORD_CELL_FUNCTIONS[cell_name]
+        arity = CELL_INPUT_COUNTS[cell_name]
+    except KeyError:
+        raise KeyError(f"unknown cell {cell_name!r}") from None
+    if len(inputs) != arity:
+        raise ValueError(
+            f"cell {cell_name} expects {arity} inputs, got {len(inputs)}"
+        )
+    if lanes < 1:
+        raise ValueError(f"lanes must be >= 1, got {lanes}")
+    mask = (1 << lanes) - 1
+    for word in inputs:
+        if word < 0 or word > mask:
+            raise ValueError(
+                f"input word {word!r} does not fit in {lanes} lanes"
+            )
+    return func(mask, *inputs)
 
 
 def evaluate_cell(cell_name: str, inputs: Sequence[int]) -> int:

@@ -4,6 +4,10 @@ Three ResNet-style networks run with baseline 8-bit quantization while every
 multiplication flips one of its two MSBs with a given probability; each
 configuration is repeated and averaged, and the accuracy is normalized to
 the fault-free accuracy of the same network — matching the paper's plot.
+
+Each network is quantized and calibrated once and swept through the whole
+probability grid (:func:`repro.nn.evaluate.sweep_fault_injection`), instead
+of re-quantizing per probability point.
 """
 
 from __future__ import annotations
@@ -11,7 +15,7 @@ from __future__ import annotations
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.settings import ExperimentSettings
 from repro.experiments.workspace import ExperimentWorkspace
-from repro.nn.evaluate import evaluate_with_fault_injection
+from repro.nn.evaluate import sweep_fault_injection
 from repro.nn.zoo import display_name
 from repro.quantization.registry import get_method
 
@@ -32,28 +36,22 @@ def run_fig1b(
     baselines = {}
     for network in settings.fig1b_networks:
         pretrained = workspace.model(network)
-        fault_free, _ = evaluate_with_fault_injection(
+        # One quantization pass per network: probability 0.0 gives the
+        # fault-free baseline, the rest of the grid reuses the same model.
+        sweep = sweep_fault_injection(
             pretrained.model,
             method,
             calibration,
             x_test,
             y_test,
-            flip_probability=0.0,
-            repetitions=1,
+            flip_probabilities=(0.0, *settings.flip_probabilities),
+            repetitions=settings.fault_repetitions,
             seed=settings.seed,
         )
+        fault_free = sweep[0.0][0]
         baselines[network] = fault_free
         for probability in settings.flip_probabilities:
-            mean_accuracy, std_accuracy = evaluate_with_fault_injection(
-                pretrained.model,
-                method,
-                calibration,
-                x_test,
-                y_test,
-                flip_probability=probability,
-                repetitions=settings.fault_repetitions,
-                seed=settings.seed,
-            )
+            mean_accuracy, std_accuracy = sweep[probability]
             normalized = mean_accuracy / fault_free if fault_free > 0 else 0.0
             rows.append(
                 [

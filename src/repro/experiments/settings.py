@@ -54,8 +54,16 @@ class ExperimentSettings:
     table1_networks: tuple[str, ...] = ("resnet50", "vgg16", "alexnet", "squeezenet")
     fig1b_networks: tuple[str, ...] = FIG1B_NETWORKS
 
-    # Fig. 1a multiplier error characterisation.
-    error_samples: int = 400
+    # Fig. 1a multiplier error characterisation.  The bit-parallel batched
+    # engine (repro.circuits.simulator) makes large sample counts cheap:
+    # "settle"/"transition" run batched, "event" falls back to the scalar
+    # event-driven simulator.  "transition" (optimistic bound) keeps the
+    # MSB-flip probabilities in the same 1e-5..1e-2 regime the Fig. 1b
+    # fault-injection sweep covers; "settle" (pessimistic bound) saturates
+    # the error rate within a few mV of aging.
+    error_samples: int = 2000
+    error_arrival_model: str = "transition"
+    sim_batch_size: int = 256
 
     # Fig. 1b fault injection.
     flip_probabilities: tuple[float, ...] = (1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2)
@@ -67,9 +75,13 @@ class ExperimentSettings:
     # Fig. 5 energy estimation.
     energy_transitions: int = 300
 
-    # Surrogate-model ablation (Section VI-B).
+    # Surrogate-model ablation (Section VI-B).  The paper ranks the [0,4]^2
+    # grid on ImageNet models; the synthetic zoo is far more robust to
+    # quantization, so the grid extends to [0,6]^2 (down to 2-bit operands)
+    # to give the measured accuracy losses enough dynamic range for a
+    # meaningful rank correlation.
     ablation_networks: tuple[str, ...] = ("resnet50", "squeezenet")
-    ablation_max_compression: int = 4
+    ablation_max_compression: int = 6
     ablation_methods: tuple[str, ...] = ("M2", "M4")
 
     @classmethod
@@ -85,7 +97,7 @@ class ExperimentSettings:
             test_per_class=50,
             training_epochs=12,
             test_subset=500,
-            error_samples=2000,
+            error_samples=8000,
             fault_repetitions=5,
             energy_transitions=1000,
             table1_networks=TABLE1_NETWORKS,

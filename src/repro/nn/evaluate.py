@@ -8,7 +8,7 @@ import numpy as np
 
 from repro.nn.faults import MsbBitFlipInjector
 from repro.nn.model import Model
-from repro.nn.quantized import QuantizedModel
+from repro.nn.quantized import CalibrationRecording, QuantizedModel
 from repro.quantization.base import QuantizationMethod
 
 
@@ -53,12 +53,16 @@ def quantize_and_evaluate(
     fp32_accuracy: float | None = None,
     fault_injector: MsbBitFlipInjector | None = None,
     per_channel: bool = True,
+    calibration_recording: CalibrationRecording | None = None,
 ) -> QuantizedEvaluation:
     """Quantize ``model`` with ``method`` and measure its test accuracy.
 
     The bias width defaults to ``activation_bits + weight_bits`` which, for
     the paper's (α, β) compression of an 8/8/16-bit MAC datapath, equals
-    ``16 - α - β``.
+    ``16 - α - β``.  Sweeps evaluating many configurations of one model can
+    pass a shared ``calibration_recording`` (see
+    :func:`repro.nn.quantized.record_calibration`) to skip the per-call
+    calibration forward pass.
     """
     if fp32_accuracy is None:
         fp32_accuracy = evaluate_fp32(model, x_test, y_test)
@@ -71,6 +75,7 @@ def quantize_and_evaluate(
         calibration_data=calibration_data,
         per_channel=per_channel,
         fault_injector=fault_injector,
+        calibration_recording=calibration_recording,
     )
     accuracy = quantized.accuracy(x_test, y_test)
     return QuantizedEvaluation(
@@ -104,6 +109,45 @@ def evaluate_with_fault_injection(
     Returns:
         ``(mean_accuracy, std_accuracy)`` over the repetitions.
     """
+    results = sweep_fault_injection(
+        model,
+        method,
+        calibration_data,
+        x_test,
+        y_test,
+        flip_probabilities=(flip_probability,),
+        repetitions=repetitions,
+        activation_bits=activation_bits,
+        weight_bits=weight_bits,
+        seed=seed,
+    )
+    return results[flip_probability]
+
+
+def sweep_fault_injection(
+    model: Model,
+    method: QuantizationMethod,
+    calibration_data: np.ndarray,
+    x_test: np.ndarray,
+    y_test: np.ndarray,
+    flip_probabilities: "tuple[float, ...] | list[float]",
+    repetitions: int = 3,
+    activation_bits: int = 8,
+    weight_bits: int = 8,
+    seed: int = 0,
+) -> dict[float, tuple[float, float]]:
+    """Fault-injection accuracy over a whole sweep of flip probabilities.
+
+    Quantizes (and calibrates) the model once and reuses it across every
+    probability and repetition — calibration is the expensive part of
+    :func:`evaluate_with_fault_injection`, so sweeping through one quantized
+    model is what makes the full Fig. 1b probability grid cheap.  Each
+    ``(probability, repetition)`` cell uses the same injector seed as a
+    per-cell call, so results match the one-at-a-time path exactly.
+
+    Returns:
+        ``{flip_probability: (mean_accuracy, std_accuracy)}``.
+    """
     if repetitions < 1:
         raise ValueError("repetitions must be >= 1")
     quantized = QuantizedModel.build(
@@ -113,12 +157,20 @@ def evaluate_with_fault_injection(
         weight_bits=weight_bits,
         calibration_data=calibration_data,
     )
-    accuracies = []
-    for repetition in range(repetitions):
-        injector = MsbBitFlipInjector(
-            probability=flip_probability, rng=seed * 1000 + repetition
-        )
-        quantized.set_fault_injector(injector)
-        accuracies.append(quantized.accuracy(x_test, y_test))
-    quantized.set_fault_injector(None)
-    return float(np.mean(accuracies)), float(np.std(accuracies))
+    results: dict[float, tuple[float, float]] = {}
+    try:
+        for probability in flip_probabilities:
+            # A zero flip probability is deterministic, so one evaluation
+            # covers every repetition (std is 0 by construction).
+            runs = 1 if probability == 0.0 else repetitions
+            accuracies = []
+            for repetition in range(runs):
+                injector = MsbBitFlipInjector(
+                    probability=probability, rng=seed * 1000 + repetition
+                )
+                quantized.set_fault_injector(injector)
+                accuracies.append(quantized.accuracy(x_test, y_test))
+            results[probability] = (float(np.mean(accuracies)), float(np.std(accuracies)))
+    finally:
+        quantized.set_fault_injector(None)
+    return results

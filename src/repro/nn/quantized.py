@@ -53,6 +53,22 @@ class LayerQuantization:
     bias_scale: np.ndarray
 
 
+@dataclass(frozen=True)
+class CalibrationRecording:
+    """FP32 calibration observations captured once, reusable across configs.
+
+    The calibration forward pass only depends on the model and the
+    calibration data — not on the quantization method or bit widths — so a
+    sweep over many ``(method, activation_bits, weight_bits)`` configurations
+    (Algorithm 1's grid, the Section VI-B ablation) can record it once and
+    rebuild each configuration's parameters from the recording.  Loading a
+    recording is bit-for-bit equivalent to re-running calibration.
+    """
+
+    observations: dict[str, np.ndarray]
+    layer_tensors: dict[str, tuple[np.ndarray, np.ndarray]]
+
+
 class QuantizationContext:
     """Holds per-layer quantization state and executes the integer MACs.
 
@@ -95,6 +111,24 @@ class QuantizationContext:
     @property
     def is_calibrating(self) -> bool:
         return self._calibrating
+
+    def snapshot_calibration(self) -> CalibrationRecording:
+        """Capture the recorded observations for reuse in other contexts."""
+        if not self._calibrating:
+            raise RuntimeError("the context has already been finalized")
+        if not self._observations:
+            raise RuntimeError("no calibration data observed yet")
+        return CalibrationRecording(
+            observations=dict(self._observations),
+            layer_tensors=dict(self._layer_tensors),
+        )
+
+    def load_calibration(self, recording: CalibrationRecording) -> None:
+        """Adopt a :class:`CalibrationRecording` instead of a forward pass."""
+        if not self._calibrating:
+            raise RuntimeError("the context has already been finalized")
+        self._observations = dict(recording.observations)
+        self._layer_tensors = dict(recording.layer_tensors)
 
     def finalize(self) -> None:
         """Compute every layer's quantization parameters and switch to run mode."""
@@ -259,8 +293,14 @@ class QuantizedModel:
         per_channel: bool = True,
         fault_injector: MsbBitFlipInjector | None = None,
         calibration_batch_size: int = 64,
+        calibration_recording: CalibrationRecording | None = None,
     ) -> "QuantizedModel":
-        """Calibrate ``model`` with ``method`` and freeze the integer view."""
+        """Calibrate ``model`` with ``method`` and freeze the integer view.
+
+        Pass ``calibration_recording`` (see :func:`record_calibration`) to
+        skip the FP32 calibration forward pass; parameter sweeps over many
+        configurations of the same model only pay for calibration once.
+        """
         context = QuantizationContext(
             method=method,
             activation_bits=activation_bits,
@@ -269,10 +309,13 @@ class QuantizedModel:
             per_channel=per_channel,
             fault_injector=fault_injector,
         )
-        for start in range(0, calibration_data.shape[0], calibration_batch_size):
-            model.forward_quantized(
-                calibration_data[start : start + calibration_batch_size], context
-            )
+        if calibration_recording is not None:
+            context.load_calibration(calibration_recording)
+        else:
+            for start in range(0, calibration_data.shape[0], calibration_batch_size):
+                model.forward_quantized(
+                    calibration_data[start : start + calibration_batch_size], context
+                )
         context.finalize()
         return cls(model, context)
 
@@ -302,3 +345,24 @@ class QuantizedModel:
     @property
     def fault_injector(self) -> MsbBitFlipInjector | None:
         return self.context.fault_injector
+
+
+def record_calibration(
+    model: Model,
+    calibration_data: np.ndarray,
+    calibration_batch_size: int = 64,
+) -> CalibrationRecording:
+    """Run the FP32 calibration pass once and return a reusable recording.
+
+    The recording is method- and bit-width-independent; feed it to
+    :meth:`QuantizedModel.build` via ``calibration_recording`` to quantize
+    the same model many times without re-running the forward pass.
+    """
+    # The method is only consulted when a context is finalized, which never
+    # happens on this recording-only context.
+    context = QuantizationContext(method=None, activation_bits=8, weight_bits=8)
+    for start in range(0, calibration_data.shape[0], calibration_batch_size):
+        model.forward_quantized(
+            calibration_data[start : start + calibration_batch_size], context
+        )
+    return context.snapshot_calibration()

@@ -49,6 +49,11 @@ class SGDTrainer:
         label_smoothing: label smoothing used by the loss.
         cosine_decay: whether to anneal the learning rate with a cosine
             schedule down to 5 % of the initial value.
+        clip_grad_norm: global gradient-norm clipping threshold, or ``None``
+            to disable.  The zoo's residual networks have no normalisation
+            layers, so an occasional exploding mini-batch gradient can throw
+            a partially-trained model back to chance accuracy; clipping keeps
+            every architecture on its stable trajectory.
     """
 
     learning_rate: float = 0.05
@@ -58,6 +63,7 @@ class SGDTrainer:
     epochs: int = 10
     label_smoothing: float = 0.0
     cosine_decay: bool = True
+    clip_grad_norm: float | None = 5.0
 
     def __post_init__(self) -> None:
         if self.learning_rate <= 0:
@@ -66,6 +72,8 @@ class SGDTrainer:
             raise ValueError("momentum must be in [0, 1)")
         if self.batch_size < 1 or self.epochs < 1:
             raise ValueError("batch_size and epochs must be >= 1")
+        if self.clip_grad_norm is not None and self.clip_grad_norm <= 0:
+            raise ValueError("clip_grad_norm must be positive (or None)")
 
     def _epoch_learning_rate(self, epoch: int) -> float:
         if not self.cosine_decay or self.epochs == 1:
@@ -107,6 +115,15 @@ class SGDTrainer:
                 model.backward(grad)
                 epoch_loss += loss * batch_x.shape[0]
                 correct += int((logits.argmax(axis=1) == batch_y).sum())
+                if self.clip_grad_norm is not None:
+                    total = 0.0
+                    for param in model.parameters():
+                        total += float(np.sum(param.grad * param.grad))
+                    norm = np.sqrt(total)
+                    if norm > self.clip_grad_norm:
+                        scale = self.clip_grad_norm / norm
+                        for param in model.parameters():
+                            param.grad *= scale
                 for param in model.parameters():
                     if self.weight_decay > 0:
                         param.grad += self.weight_decay * param.value

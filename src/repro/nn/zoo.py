@@ -284,6 +284,7 @@ def _cache_fingerprint(
             "weight_decay": trainer.weight_decay,
             "batch_size": trainer.batch_size,
             "epochs": trainer.epochs,
+            "clip_grad_norm": trainer.clip_grad_norm,
         },
         "seed": seed,
     }

@@ -18,11 +18,22 @@ import numpy as np
 
 from repro.aging.cell_library import AgingAwareLibrarySet, CellLibrary
 from repro.circuits.mac import ArithmeticUnit
-from repro.circuits.simulator import TimingSimulator
+from repro.circuits.simulator import (
+    BATCH_ARRIVAL_MODELS,
+    ARRIVAL_MODELS,
+    BatchTimingSimulator,
+    TimingSimulator,
+    word_to_lane_bits,
+)
 from repro.timing.sta import StaticTimingAnalyzer
 from repro.utils.rng import make_rng
 
 InputSampler = Callable[[np.random.Generator], Mapping[str, int]]
+
+ENGINES = ("auto", "scalar", "batch")
+
+#: Default number of vector pairs packed per bit-parallel batch.
+DEFAULT_BATCH_SIZE = 256
 
 
 @dataclass(frozen=True)
@@ -76,6 +87,9 @@ def characterize_timing_errors(
     output_bus: str = "out",
     msb_count: int = 2,
     effective_output_width: int | None = None,
+    arrival_model: str = "event",
+    engine: str = "auto",
+    batch_size: int | None = None,
 ) -> TimingErrorStatistics:
     """Characterise the timing errors of ``unit`` under ``library`` aging.
 
@@ -95,6 +109,15 @@ def characterize_timing_errors(
         effective_output_width: number of low-order output bits considered
             meaningful (e.g. 16 for an 8x8 multiplier whose ``out`` bus is
             wider); defaults to the full bus width.
+        arrival_model: ``"event"`` (exact, glitch-accurate), ``"settle"``
+            (pessimistic bound) or ``"transition"`` (optimistic bound).
+        engine: ``"scalar"`` (one vector pair per gate evaluation),
+            ``"batch"`` (bit-parallel word packing; levelized models only)
+            or ``"auto"`` to pick the batched engine whenever the arrival
+            model supports it.  For a given arrival model both engines
+            produce bit-for-bit identical statistics.
+        batch_size: vector pairs per packed word for the batched engine
+            (default :data:`DEFAULT_BATCH_SIZE`).
     """
     if num_samples < 1:
         raise ValueError("num_samples must be >= 1")
@@ -102,10 +125,24 @@ def characterize_timing_errors(
         raise ValueError("clock_period_ps must be positive")
     if output_bus not in unit.netlist.output_buses:
         raise KeyError(f"output bus {output_bus!r} not found in unit {unit.name!r}")
+    if arrival_model not in ARRIVAL_MODELS:
+        raise ValueError(f"arrival_model must be one of {ARRIVAL_MODELS}")
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}")
+    if engine == "auto":
+        engine = "batch" if arrival_model in BATCH_ARRIVAL_MODELS else "scalar"
+    if engine == "batch" and arrival_model not in BATCH_ARRIVAL_MODELS:
+        raise ValueError(
+            f"the batched engine only supports the {BATCH_ARRIVAL_MODELS} "
+            f"arrival models, not {arrival_model!r}"
+        )
+    if batch_size is None:
+        batch_size = DEFAULT_BATCH_SIZE
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
 
     generator = make_rng(rng)
     sampler = input_sampler or _default_sampler(unit)
-    simulator = TimingSimulator(unit.netlist, library)
 
     width = effective_output_width or unit.netlist.output_width(output_bus)
     if not 0 < width <= unit.netlist.output_width(output_bus):
@@ -115,6 +152,43 @@ def characterize_timing_errors(
     if not 0 < msb_count <= width:
         raise ValueError(f"msb_count must be in [1, {width}]")
 
+    if engine == "batch":
+        counters = _characterize_batch(
+            unit, library, clock_period_ps, num_samples, generator, sampler,
+            output_bus, msb_count, width, arrival_model, batch_size,
+        )
+    else:
+        counters = _characterize_scalar(
+            unit, library, clock_period_ps, num_samples, generator, sampler,
+            output_bus, msb_count, width, arrival_model,
+        )
+    bit_flip_counts, msb_flip_count, error_count, total_error_distance = counters
+
+    return TimingErrorStatistics(
+        delta_vth_mv=library.delta_vth_mv,
+        clock_period_ps=clock_period_ps,
+        num_samples=num_samples,
+        mean_error_distance=total_error_distance / num_samples,
+        error_rate=error_count / num_samples,
+        bit_flip_probabilities=tuple(bit_flip_counts / num_samples),
+        msb_flip_probability=msb_flip_count / num_samples,
+    )
+
+
+def _characterize_scalar(
+    unit: ArithmeticUnit,
+    library: CellLibrary,
+    clock_period_ps: float,
+    num_samples: int,
+    generator: np.random.Generator,
+    sampler: InputSampler,
+    output_bus: str,
+    msb_count: int,
+    width: int,
+    arrival_model: str,
+) -> tuple[np.ndarray, int, int, float]:
+    """One-vector-pair-at-a-time Monte-Carlo loop (any arrival model)."""
+    simulator = TimingSimulator(unit.netlist, library, arrival_model=arrival_model)
     bit_flip_counts = np.zeros(width, dtype=np.int64)
     msb_flip_count = 0
     error_count = 0
@@ -140,16 +214,67 @@ def characterize_timing_errors(
             if difference & msb_mask:
                 msb_flip_count += 1
         previous_inputs = current_inputs
+    return bit_flip_counts, msb_flip_count, error_count, total_error_distance
 
-    return TimingErrorStatistics(
-        delta_vth_mv=library.delta_vth_mv,
-        clock_period_ps=clock_period_ps,
-        num_samples=num_samples,
-        mean_error_distance=total_error_distance / num_samples,
-        error_rate=error_count / num_samples,
-        bit_flip_probabilities=tuple(bit_flip_counts / num_samples),
-        msb_flip_probability=msb_flip_count / num_samples,
-    )
+
+def _characterize_batch(
+    unit: ArithmeticUnit,
+    library: CellLibrary,
+    clock_period_ps: float,
+    num_samples: int,
+    generator: np.random.Generator,
+    sampler: InputSampler,
+    output_bus: str,
+    msb_count: int,
+    width: int,
+    arrival_model: str,
+    batch_size: int,
+) -> tuple[np.ndarray, int, int, float]:
+    """Bit-parallel Monte-Carlo loop (levelized arrival models).
+
+    Draws the same random vector chain as the scalar loop (vector ``i``
+    transitions to vector ``i + 1``), packs up to ``batch_size`` consecutive
+    transitions per simulator call, and accumulates identical statistics
+    from the packed lane words.
+    """
+    simulator = BatchTimingSimulator(unit.netlist, library, arrival_model=arrival_model)
+    bit_flip_counts = np.zeros(width, dtype=np.int64)
+    msb_flip_count = 0
+    error_count = 0
+    total_error_distance = 0.0
+
+    vectors = [dict(sampler(generator)) for _ in range(num_samples + 1)]
+    bus_names = list(unit.netlist.input_buses)
+    for start in range(0, num_samples, batch_size):
+        stop = min(start + batch_size, num_samples)
+        previous = {
+            bus: [vectors[i][bus] for i in range(start, stop)] for bus in bus_names
+        }
+        current = {
+            bus: [vectors[i + 1][bus] for i in range(start, stop)] for bus in bus_names
+        }
+        evaluation = simulator.propagate_batch(previous, current)
+        lanes = evaluation.lanes
+        exact_words = evaluation.final_output_words[output_bus][:width]
+        captured_words = evaluation.captured_output_words(clock_period_ps)[output_bus][:width]
+
+        error_lanes = 0
+        msb_lanes = 0
+        exact_values = np.zeros(lanes, dtype=np.int64)
+        captured_values = np.zeros(lanes, dtype=np.int64)
+        for bit, (exact, captured) in enumerate(zip(exact_words, captured_words)):
+            difference = exact ^ captured
+            if difference:
+                bit_flip_counts[bit] += difference.bit_count()
+                error_lanes |= difference
+                if bit >= width - msb_count:
+                    msb_lanes |= difference
+            exact_values += word_to_lane_bits(exact, lanes).astype(np.int64) << bit
+            captured_values += word_to_lane_bits(captured, lanes).astype(np.int64) << bit
+        error_count += error_lanes.bit_count()
+        msb_flip_count += msb_lanes.bit_count()
+        total_error_distance += float(np.abs(exact_values - captured_values).sum())
+    return bit_flip_counts, msb_flip_count, error_count, total_error_distance
 
 
 def sweep_timing_errors(
@@ -161,12 +286,16 @@ def sweep_timing_errors(
     input_sampler: InputSampler | None = None,
     msb_count: int = 2,
     effective_output_width: int | None = None,
+    arrival_model: str = "event",
+    engine: str = "auto",
+    batch_size: int | None = None,
 ) -> list[TimingErrorStatistics]:
     """Characterise ``unit`` at several aging levels, fresh clock throughout.
 
     This is the full Fig. 1a experiment: the clock period is the fresh
     critical-path delay (no guardband) and each level uses its own aged
-    library.
+    library.  ``arrival_model``/``engine``/``batch_size`` select the
+    simulation engine exactly as in :func:`characterize_timing_errors`.
     """
     fresh_sta = StaticTimingAnalyzer(unit, library_set.fresh)
     fresh_period_ps = fresh_sta.critical_path_delay()
@@ -183,6 +312,9 @@ def sweep_timing_errors(
                 input_sampler=input_sampler,
                 msb_count=msb_count,
                 effective_output_width=effective_output_width,
+                arrival_model=arrival_model,
+                engine=engine,
+                batch_size=batch_size,
             )
         )
     return results

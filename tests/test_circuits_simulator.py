@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.circuits.mac import build_multiplier
-from repro.circuits.simulator import LogicSimulator, TimingSimulator
+from repro.circuits.simulator import LogicSimulator, TimedEvaluation, TimingSimulator
 
 
 class TestLogicSimulator:
@@ -76,6 +76,61 @@ class TestTimingSimulatorEventModel:
         evaluation = simulator.propagate({"a": 0, "b": 0}, {"a": 1, "b": 1})
         with pytest.raises(ValueError):
             evaluation.captured_outputs(0.0)
+
+
+def _evaluation(timelines, previous, final):
+    """Hand-built TimedEvaluation over a single bus named "out"."""
+    arrivals = [changes[-1][0] if changes else 0.0 for changes in timelines]
+    return TimedEvaluation(
+        final_outputs={"out": final},
+        previous_outputs={"out": previous},
+        output_bit_timelines={"out": timelines},
+        output_arrivals_ps={"out": arrivals},
+        worst_arrival_ps=max(arrivals, default=0.0),
+    )
+
+
+class TestCapturedOutputsEdgeCases:
+    def test_change_exactly_at_the_clock_edge_is_captured(self):
+        evaluation = _evaluation([[(5.0, 1)]], previous=0, final=1)
+        assert evaluation.captured_outputs(5.0)["out"] == 1
+        # Strictly after the edge: the stale value survives.
+        assert evaluation.captured_outputs(5.0 - 1e-9)["out"] == 0
+        assert not evaluation.has_timing_violation(5.0)
+        assert evaluation.has_timing_violation(4.0)
+
+    def test_multi_glitch_timeline_takes_the_last_change_before_the_edge(self):
+        glitches = [(1.0, 1), (2.0, 0), (3.0, 1), (4.0, 0)]
+        evaluation = _evaluation([glitches], previous=1, final=0)
+        assert evaluation.captured_outputs(0.5)["out"] == 1  # stale
+        assert evaluation.captured_outputs(1.5)["out"] == 1
+        assert evaluation.captured_outputs(2.5)["out"] == 0
+        assert evaluation.captured_outputs(3.5)["out"] == 1  # mid-glitch
+        assert evaluation.captured_outputs(10.0)["out"] == 0  # settled
+
+    def test_zero_width_bus_timeline_captures_zero(self):
+        evaluation = _evaluation([], previous=0, final=0)
+        assert evaluation.captured_outputs(1.0)["out"] == 0
+        assert evaluation.worst_arrival_ps == 0.0
+
+    def test_quiet_bits_keep_the_previous_value(self):
+        evaluation = _evaluation([[], [(2.0, 0)]], previous=0b11, final=0b01)
+        assert evaluation.captured_outputs(1.0)["out"] == 0b11
+        assert evaluation.captured_outputs(2.0)["out"] == 0b01
+
+    def test_non_positive_clock_rejected(self):
+        evaluation = _evaluation([[(1.0, 1)]], previous=0, final=1)
+        with pytest.raises(ValueError):
+            evaluation.captured_outputs(0.0)
+        with pytest.raises(ValueError):
+            evaluation.captured_outputs(-1.0)
+
+
+class TestArrivalModelValidation:
+    @pytest.mark.parametrize("bad_model", ["exact", "EVENT", "", "levelized"])
+    def test_unknown_arrival_models_rejected(self, small_multiplier, fresh_cells, bad_model):
+        with pytest.raises(ValueError, match="arrival_model"):
+            TimingSimulator(small_multiplier.netlist, fresh_cells, arrival_model=bad_model)
 
 
 class TestLevelizedArrivalModels:

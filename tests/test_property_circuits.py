@@ -3,7 +3,12 @@
 from hypothesis import given, settings, strategies as st
 
 from repro.circuits.mac import build_adder, build_mac, build_multiplier
-from repro.circuits.simulator import LogicSimulator
+from repro.circuits.simulator import (
+    BatchLogicSimulator,
+    BatchTimingSimulator,
+    LogicSimulator,
+    TimingSimulator,
+)
 from repro.core.padding import Padding, mac_case_analysis
 from repro.timing.sta import StaticTimingAnalyzer
 from repro.aging.cell_library import fresh_library
@@ -75,6 +80,54 @@ class TestTimingProperties:
         smaller = _MAC8_STA.critical_path_delay(mac_case_analysis(alpha, beta, padding))
         larger = _MAC8_STA.critical_path_delay(mac_case_analysis(min(alpha + extra, 8), beta, padding))
         assert larger <= smaller + 1e-9
+
+
+class TestBatchEquivalenceProperties:
+    """The bit-parallel engine must match the scalar engines lane by lane."""
+
+    @given(
+        lanes=st.lists(
+            st.tuples(st.integers(0, 31), st.integers(0, 31)), min_size=1, max_size=80
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_batch_logic_matches_scalar_multiplier(self, lanes):
+        batch = BatchLogicSimulator(_MULT5.netlist).evaluate_batch(
+            {"a": [a for a, _ in lanes], "b": [b for _, b in lanes]}
+        )
+        for lane, (a, b) in enumerate(lanes):
+            assert batch["out"][lane] == _MULT5_SIM.evaluate({"a": a, "b": b})["out"]
+            assert batch["out"][lane] == a * b
+
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.integers(0, 31), st.integers(0, 31),
+                st.integers(0, 31), st.integers(0, 31),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        model=st.sampled_from(["settle", "transition"]),
+        clock_fraction=st.floats(0.05, 1.2),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_batch_timing_matches_scalar_lane_by_lane(self, pairs, model, clock_fraction):
+        previous = {"a": [p[0] for p in pairs], "b": [p[1] for p in pairs]}
+        current = {"a": [p[2] for p in pairs], "b": [p[3] for p in pairs]}
+        batch_sim = BatchTimingSimulator(_MULT5.netlist, _FRESH, model)
+        scalar_sim = TimingSimulator(_MULT5.netlist, _FRESH, arrival_model=model)
+        evaluation = batch_sim.propagate_batch(previous, current)
+        clock = max(clock_fraction * float(evaluation.worst_arrival_ps.max()), 1e-3)
+        finals = evaluation.final_outputs()
+        captured = evaluation.captured_outputs(clock)
+        for lane, (pa, pb, ca, cb) in enumerate(pairs):
+            reference = scalar_sim.propagate({"a": pa, "b": pb}, {"a": ca, "b": cb})
+            assert finals["out"][lane] == reference.final_outputs["out"] == ca * cb
+            assert captured["out"][lane] == reference.captured_outputs(clock)["out"]
+            assert abs(
+                evaluation.worst_arrival_ps[lane] - reference.worst_arrival_ps
+            ) < 1e-9
 
 
 class TestBitopsProperties:
