@@ -1,0 +1,112 @@
+"""Benchmarks of the process-parallel sweep subsystem (repro.parallel).
+
+Two properties are asserted, matching the PR acceptance criteria:
+
+* the ΔVth sweep microbenchmark must reach >= 1.8x speedup with 4 worker
+  processes over the serial path (skipped on machines with fewer than 4
+  usable CPUs, where process parallelism cannot pay off), and the parallel
+  statistics must be bit-identical to the serial ones;
+* the Fig. 4 / Algorithm 1 case-analysis grid must be evaluated with at
+  least a 2x reduction in levelized STA passes — one shared pass per
+  netlist corner batch instead of one pass per (α, β, padding) corner.
+"""
+
+import time
+
+import pytest
+
+from repro.aging.cell_library import AgingAwareLibrarySet
+from repro.circuits.mac import build_multiplier
+from repro.core.compression import enumerate_compressions
+from repro.core.padding import Padding
+from repro.core.timing_analysis import CompressionTimingAnalyzer
+from repro.parallel import usable_cpu_count
+from repro.timing.error_model import sweep_timing_errors
+
+#: Worker count of the speedup microbenchmark (the acceptance criterion).
+SPEEDUP_WORKERS = 4
+#: Required serial-vs-parallel speedup at SPEEDUP_WORKERS workers.
+REQUIRED_SPEEDUP = 1.8
+
+
+def test_bench_parallel_vth_sweep_speedup(benchmark):
+    """Serial vs 4-worker ΔVth timing-error sweep (bit-identical results)."""
+    if usable_cpu_count() < SPEEDUP_WORKERS:
+        pytest.skip(
+            f"needs >= {SPEEDUP_WORKERS} usable CPUs for a meaningful "
+            f"process-parallel speedup measurement (have {usable_cpu_count()})"
+        )
+    unit = build_multiplier(8, "array")
+    libraries = AgingAwareLibrarySet.generate()
+    kwargs = dict(
+        levels_mv=(0.0, 10.0, 20.0, 30.0, 40.0, 50.0),
+        num_samples=8000,
+        rng=0,
+        effective_output_width=16,
+        arrival_model="settle",
+        samples_per_shard=500,
+    )
+
+    # Best-of-N wall clocks on both sides: single-shot timings are too noisy
+    # for a hard CI assertion on shared runners.
+    serial_elapsed = float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        serial_results = sweep_timing_errors(unit, libraries, **kwargs)
+        serial_elapsed = min(serial_elapsed, time.perf_counter() - start)
+
+    parallel_results = benchmark.pedantic(
+        lambda: sweep_timing_errors(unit, libraries, workers=SPEEDUP_WORKERS, **kwargs),
+        rounds=2,
+        iterations=1,
+    )
+    parallel_elapsed = benchmark.stats.stats.min
+
+    assert parallel_results == serial_results  # the seed-sharding contract
+    speedup = serial_elapsed / parallel_elapsed
+    benchmark.extra_info["serial_seconds"] = serial_elapsed
+    benchmark.extra_info["speedup_vs_serial"] = speedup
+    benchmark.extra_info["workers"] = SPEEDUP_WORKERS
+    assert speedup >= REQUIRED_SPEEDUP
+
+
+def test_bench_case_analysis_grid_single_pass(benchmark):
+    """The (α, β) case-analysis grid must not run one STA pass per corner."""
+    corners = [
+        choice
+        for choice in enumerate_compressions(6, 6, (Padding.MSB, Padding.LSB))
+        if choice.alpha < 8 and choice.beta < 8
+    ]
+
+    def evaluate_grid():
+        analyzer = CompressionTimingAnalyzer()
+        feasible = analyzer.feasible_compressions(50.0, max_alpha=6, max_beta=6)
+        return analyzer, feasible
+
+    analyzer, feasible = benchmark.pedantic(evaluate_grid, rounds=1, iterations=1)
+    assert feasible  # severe aging still leaves feasible compressions
+    benchmark.extra_info["corners"] = len(corners)
+    benchmark.extra_info["sta_passes"] = analyzer.sta_pass_count
+    # >= 2x fewer levelized passes than corners; in practice it is one pass
+    # for the whole corner batch plus one for the fresh timing target.
+    assert analyzer.sta_pass_count * 2 <= len(corners)
+
+
+def test_bench_parallel_overhead_on_serial_path(benchmark):
+    """workers=0 must stay overhead-free: no pool, no pickling, same results."""
+    unit = build_multiplier(6, "array")
+    libraries = AgingAwareLibrarySet.generate()
+
+    def serial_sweep():
+        return sweep_timing_errors(
+            unit,
+            libraries,
+            levels_mv=(0.0, 50.0),
+            num_samples=1000,
+            rng=0,
+            effective_output_width=12,
+            arrival_model="settle",
+        )
+
+    results = benchmark.pedantic(serial_sweep, rounds=1, iterations=1)
+    assert results[-1].error_rate > 0.0

@@ -10,6 +10,8 @@ The package is organised as a device-to-system stack:
 * :mod:`repro.nn` — NumPy NN substrate (layers, training, model zoo, integer inference),
 * :mod:`repro.npu` — systolic-array performance model,
 * :mod:`repro.core` — the paper's aging-aware quantization flow (Algorithm 1),
+* :mod:`repro.parallel` — process-parallel sweep executor with spawn-safe
+  deterministic seed sharding,
 * :mod:`repro.experiments` — one module per paper table/figure.
 
 Quickstart::
@@ -40,6 +42,7 @@ from repro.nn import (
     get_pretrained,
 )
 from repro.npu import NpuPerformanceModel, SystolicArray
+from repro.parallel import ParallelExecutor
 from repro.quantization import available_methods, get_method
 from repro.timing import StaticTimingAnalyzer, characterize_timing_errors, sweep_timing_errors
 
@@ -68,6 +71,7 @@ __all__ = [
     "get_pretrained",
     "NpuPerformanceModel",
     "SystolicArray",
+    "ParallelExecutor",
     "available_methods",
     "get_method",
     "StaticTimingAnalyzer",

@@ -185,6 +185,66 @@ class Netlist:
         self._topo_cache = order
         return order
 
+    # ------------------------------------------------------------- pickling
+    def __getstate__(self) -> dict:
+        """Flatten the linked Net/Gate graph into name references.
+
+        Default pickling recurses through the ``Net.driver``/``Gate.inputs``
+        links and blows the recursion limit on circuits beyond a few dozen
+        gates; the flat form also keeps parallel-sweep task specs compact.
+        """
+        return {
+            "name": self.name,
+            "nets": [
+                (net.name, net.is_primary_input, net.constant_value)
+                for net in self.nets.values()
+            ],
+            "gates": [
+                (
+                    gate.name,
+                    gate.cell_name,
+                    tuple(net.name for net in gate.inputs),
+                    gate.output.name,
+                )
+                for gate in self.gates
+            ],
+            "input_buses": {
+                name: [net.name for net in nets] for name, nets in self.input_buses.items()
+            },
+            "output_buses": {
+                name: [net.name for net in nets] for name, nets in self.output_buses.items()
+            },
+            "counters": (self._gate_counter, self._net_counter),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.name = state["name"]
+        self.nets = {}
+        for name, is_primary_input, constant_value in state["nets"]:
+            net = Net(name)
+            net.is_primary_input = is_primary_input
+            net.constant_value = constant_value
+            self.nets[name] = net
+        self.gates = []
+        # Rebuilding gates in their original creation order restores every
+        # sink list (and therefore every fanout count) exactly.
+        for gate_name, cell_name, input_names, output_name in state["gates"]:
+            inputs = tuple(self.nets[name] for name in input_names)
+            output = self.nets[output_name]
+            gate = Gate(name=gate_name, cell_name=cell_name, inputs=inputs, output=output)
+            output.driver = gate
+            for net in inputs:
+                net.sinks.append(gate)
+            self.gates.append(gate)
+        self.input_buses = {
+            name: [self.nets[n] for n in nets] for name, nets in state["input_buses"].items()
+        }
+        self.output_buses = {
+            name: [self.nets[n] for n in nets] for name, nets in state["output_buses"].items()
+        }
+        self._gate_counter, self._net_counter = state["counters"]
+        self._topo_cache = None
+
     # --------------------------------------------------------------- queries
     @property
     def gate_count(self) -> int:

@@ -11,7 +11,7 @@ guardband).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 
 from repro.aging.cell_library import AgingAwareLibrarySet
 from repro.circuits.mac import ArithmeticUnit, build_mac
@@ -72,23 +72,59 @@ class CompressionTimingAnalyzer:
             self._fresh_period_ps = self._analyzer(0.0).critical_path_delay()
         return self._fresh_period_ps
 
+    @property
+    def sta_pass_count(self) -> int:
+        """Levelized arrival traversals run so far, summed over all levels."""
+        return sum(analyzer.levelized_passes for analyzer in self._analyzers.values())
+
+    def _case_analysis(self, choice: CompressionChoice) -> dict[str, int]:
+        multiplier_width = int(self.mac.input_widths.get("a", 8))
+        accumulator_width = int(self.mac.input_widths.get("c", 22))
+        return mac_case_analysis(
+            choice.alpha,
+            choice.beta,
+            choice.padding,
+            multiplier_width=multiplier_width,
+            accumulator_width=accumulator_width,
+        )
+
     # ------------------------------------------------------------------ delay
+    def delays_ps(
+        self, delta_vth_mv: float, choices: Sequence[CompressionChoice]
+    ) -> list[float]:
+        """Critical-path delays of many compression corners at one level.
+
+        All corners not already cached are evaluated through
+        :meth:`~repro.timing.sta.StaticTimingAnalyzer.case_analysis_delays`
+        in **one** levelized STA pass over the netlist (the per-gate delay
+        tables are shared between corners), instead of one pass per corner.
+        """
+        keys = [
+            (float(delta_vth_mv), choice.alpha, choice.beta, choice.padding)
+            for choice in choices
+        ]
+        missing_indices = []
+        seen_keys = set()
+        for index, key in enumerate(keys):
+            if key not in self._delay_cache and key not in seen_keys:
+                missing_indices.append(index)
+                seen_keys.add(key)
+        if missing_indices:
+            cases = [self._case_analysis(choices[index]) for index in missing_indices]
+            delays = self._analyzer(delta_vth_mv).case_analysis_delays(cases)
+            for index, delay in zip(missing_indices, delays):
+                self._delay_cache[keys[index]] = delay
+        return [self._delay_cache[key] for key in keys]
+
     def delay_ps(self, delta_vth_mv: float, choice: CompressionChoice | None = None) -> float:
         """Critical-path delay of the MAC at an aging level and compression."""
         if choice is None:
             choice = CompressionChoice(0, 0)
         cache_key = (float(delta_vth_mv), choice.alpha, choice.beta, choice.padding)
         if cache_key not in self._delay_cache:
-            multiplier_width = int(self.mac.input_widths.get("a", 8))
-            accumulator_width = int(self.mac.input_widths.get("c", 22))
-            case = mac_case_analysis(
-                choice.alpha,
-                choice.beta,
-                choice.padding,
-                multiplier_width=multiplier_width,
-                accumulator_width=accumulator_width,
+            self._delay_cache[cache_key] = self._analyzer(delta_vth_mv).critical_path_delay(
+                self._case_analysis(choice)
             )
-            self._delay_cache[cache_key] = self._analyzer(delta_vth_mv).critical_path_delay(case)
         return self._delay_cache[cache_key]
 
     def timing(self, delta_vth_mv: float, choice: CompressionChoice) -> CompressionTiming:
@@ -118,15 +154,20 @@ class CompressionTimingAnalyzer:
         max_alpha = multiplier_width if max_alpha is None else max_alpha
         max_beta = multiplier_width if max_beta is None else max_beta
         target = target_period_ps if target_period_ps is not None else self.fresh_period_ps()
+        choices = [
+            choice
+            for choice in enumerate_compressions(max_alpha, max_beta, paddings)
+            # Removing all operand bits is not a meaningful design point.
+            if choice.alpha < multiplier_width and choice.beta < multiplier_width
+        ]
+        # One levelized STA pass evaluates every remaining corner at once.
+        delays = self.delays_ps(delta_vth_mv, choices)
         feasible = []
-        for choice in enumerate_compressions(max_alpha, max_beta, paddings):
-            if choice.alpha >= multiplier_width or choice.beta >= multiplier_width:
-                # Removing all operand bits is not a meaningful design point.
-                continue
+        for choice, delay in zip(choices, delays):
             timing = CompressionTiming(
                 choice=choice,
                 delta_vth_mv=delta_vth_mv,
-                delay_ps=self.delay_ps(delta_vth_mv, choice),
+                delay_ps=delay,
                 target_period_ps=target,
             )
             if timing.meets_timing:

@@ -24,10 +24,9 @@ from repro.core.compression import euclidean_surrogate
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.settings import ExperimentSettings
 from repro.experiments.workspace import ExperimentWorkspace
-from repro.nn.evaluate import quantize_and_evaluate
+from repro.nn.evaluate import sweep_quantization_grid
 from repro.nn.quantized import record_calibration
 from repro.nn.zoo import display_name
-from repro.quantization.registry import get_method
 
 
 def _rank(values: list[float]) -> np.ndarray:
@@ -69,25 +68,30 @@ def run_surrogate_ablation(
         # One FP32 calibration pass per network, shared by the whole
         # (method, alpha, beta) grid.
         recording = record_calibration(pretrained.model, calibration)
-        for method_key in settings.ablation_methods:
-            method = get_method(method_key)
-            losses = []
-            surrogates = []
-            for alpha, beta in compressions:
-                evaluation = quantize_and_evaluate(
-                    pretrained.model,
-                    method,
-                    activation_bits=8 - alpha,
-                    weight_bits=8 - beta,
-                    bias_bits=16 - alpha - beta,
-                    calibration_data=calibration,
-                    x_test=x_test,
-                    y_test=y_test,
-                    fp32_accuracy=fp32_accuracy,
-                    calibration_recording=recording,
-                )
-                losses.append(evaluation.accuracy_loss_percent)
-                surrogates.append(euclidean_surrogate(alpha, beta))
+        # The whole (method, alpha, beta) grid of this network is one tile
+        # list, sharded across worker processes by the grid sweep.
+        tiles = [
+            (method_key, 8 - alpha, 8 - beta, 16 - alpha - beta)
+            for method_key in settings.ablation_methods
+            for alpha, beta in compressions
+        ]
+        evaluations = sweep_quantization_grid(
+            pretrained.model,
+            tiles,
+            calibration_data=calibration,
+            x_test=x_test,
+            y_test=y_test,
+            fp32_accuracy=fp32_accuracy,
+            calibration_recording=recording,
+            workers=settings.workers,
+            chunk_size=settings.chunk_size,
+        )
+        for method_index, method_key in enumerate(settings.ablation_methods):
+            method_evaluations = evaluations[
+                method_index * len(compressions) : (method_index + 1) * len(compressions)
+            ]
+            losses = [evaluation.accuracy_loss_percent for evaluation in method_evaluations]
+            surrogates = [euclidean_surrogate(alpha, beta) for alpha, beta in compressions]
             loss_ranks = _rank(losses)
             if np.ptp(loss_ranks) == 0.0:
                 # Every compression measured the same loss (tiny grids /

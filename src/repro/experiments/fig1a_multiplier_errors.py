@@ -42,6 +42,8 @@ def run_fig1a(
         msb_count=2,
         arrival_model=settings.error_arrival_model,
         batch_size=settings.sim_batch_size,
+        workers=settings.workers,
+        chunk_size=settings.chunk_size,
     )
     rows = [
         [

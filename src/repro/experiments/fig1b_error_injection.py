@@ -47,6 +47,8 @@ def run_fig1b(
             flip_probabilities=(0.0, *settings.flip_probabilities),
             repetitions=settings.fault_repetitions,
             seed=settings.seed,
+            workers=settings.workers,
+            chunk_size=settings.chunk_size,
         )
         fault_free = sweep[0.0][0]
         baselines[network] = fault_free

@@ -85,6 +85,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0, help="global random seed")
     parser.add_argument("--output", type=Path, default=None, help="directory for JSON results")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for the parallel sweeps (0 = serial, -1 = all CPUs); "
+        "results are bit-identical for any value",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="work items per parallel dispatch chunk (default: auto)",
+    )
     arguments = parser.parse_args(argv)
 
     if arguments.all or arguments.experiments is None:
@@ -92,7 +105,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     else:
         names = arguments.experiments
     settings_factory = ExperimentSettings.full if arguments.profile == "full" else ExperimentSettings.fast
-    settings = settings_factory(seed=arguments.seed)
+    settings = settings_factory(
+        seed=arguments.seed,
+        workers=arguments.workers,
+        chunk_size=arguments.chunk_size,
+    )
 
     results = run_experiments(names, settings=settings, output_dir=arguments.output)
     for result in results:

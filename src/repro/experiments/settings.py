@@ -28,6 +28,15 @@ class ExperimentSettings:
     seed: int = 0
     cache_dir: "str | Path | None" = None
 
+    # Process-parallel sweep execution (repro.parallel).  ``workers=0`` runs
+    # every sweep serially in-process, ``N > 0`` fans sweep shards out over N
+    # worker processes and ``-1`` uses every usable CPU; ``chunk_size``
+    # batches work items per dispatch.  The seed-sharding contract makes
+    # results bit-identical for any workers/chunk_size combination, so these
+    # are pure throughput knobs.
+    workers: int = 0
+    chunk_size: "int | None" = None
+
     # Synthetic dataset.
     num_classes: int = 10
     image_size: int = 16

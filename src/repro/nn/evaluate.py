@@ -1,14 +1,21 @@
-"""Accuracy evaluation helpers for FP32, quantized and fault-injected models."""
+"""Accuracy evaluation helpers for FP32, quantized and fault-injected models.
+
+The sweep entry points (:func:`sweep_fault_injection`,
+:func:`sweep_quantization_grid`) shard their grids by tile across worker
+processes via :class:`repro.parallel.ParallelExecutor`; results are merged
+in grid order and are bit-identical for any worker count or chunk size.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.nn.faults import MsbBitFlipInjector
 from repro.nn.model import Model
 from repro.nn.quantized import CalibrationRecording, QuantizedModel
+from repro.parallel import ParallelExecutor
 from repro.quantization.base import QuantizationMethod
 
 
@@ -124,6 +131,62 @@ def evaluate_with_fault_injection(
     return results[flip_probability]
 
 
+@dataclass
+class _FaultSweepContext:
+    """Shared, picklable state of one fault-injection sweep.
+
+    Shipped once per worker process; each process quantizes (and calibrates)
+    the model a single time on first use and reuses it for every grid cell
+    it is handed.  Quantization is deterministic, so every process works on
+    an identical model.
+    """
+
+    model: Model
+    method: QuantizationMethod
+    calibration_data: np.ndarray
+    activation_bits: int
+    weight_bits: int
+    x_test: np.ndarray
+    y_test: np.ndarray
+    seed: int
+    _quantized: "QuantizedModel | None" = field(default=None, repr=False)
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_quantized"] = None
+        return state
+
+    def quantized(self) -> QuantizedModel:
+        if self._quantized is None:
+            self._quantized = QuantizedModel.build(
+                self.model,
+                method=self.method,
+                activation_bits=self.activation_bits,
+                weight_bits=self.weight_bits,
+                calibration_data=self.calibration_data,
+            )
+        return self._quantized
+
+
+def _fault_cell_task(item: tuple[float, int], context: _FaultSweepContext) -> float:
+    """Evaluate one (flip probability, repetition) grid cell.
+
+    The injector seed depends only on the cell coordinates — never on the
+    execution order — so any sharding of the grid produces identical
+    accuracies.
+    """
+    probability, repetition = item
+    quantized = context.quantized()
+    injector = MsbBitFlipInjector(
+        probability=probability, rng=context.seed * 1000 + repetition
+    )
+    quantized.set_fault_injector(injector)
+    try:
+        return quantized.accuracy(context.x_test, context.y_test)
+    finally:
+        quantized.set_fault_injector(None)
+
+
 def sweep_fault_injection(
     model: Model,
     method: QuantizationMethod,
@@ -135,42 +198,129 @@ def sweep_fault_injection(
     activation_bits: int = 8,
     weight_bits: int = 8,
     seed: int = 0,
+    workers: int = 0,
+    chunk_size: int | None = None,
 ) -> dict[float, tuple[float, float]]:
     """Fault-injection accuracy over a whole sweep of flip probabilities.
 
-    Quantizes (and calibrates) the model once and reuses it across every
-    probability and repetition — calibration is the expensive part of
-    :func:`evaluate_with_fault_injection`, so sweeping through one quantized
-    model is what makes the full Fig. 1b probability grid cheap.  Each
-    ``(probability, repetition)`` cell uses the same injector seed as a
+    Quantizes (and calibrates) the model once per process and reuses it
+    across every probability and repetition — calibration is the expensive
+    part of :func:`evaluate_with_fault_injection`, so sweeping through one
+    quantized model is what makes the full Fig. 1b probability grid cheap.
+    Each ``(probability, repetition)`` cell uses the same injector seed as a
     per-cell call, so results match the one-at-a-time path exactly.
+
+    The grid is sharded by ``(probability, repetition)`` cell and executed on
+    a :class:`~repro.parallel.ParallelExecutor`: ``workers=0`` runs serially,
+    ``N > 0`` fans the cells out over ``N`` processes, with bit-identical
+    results either way.
 
     Returns:
         ``{flip_probability: (mean_accuracy, std_accuracy)}``.
     """
     if repetitions < 1:
         raise ValueError("repetitions must be >= 1")
-    quantized = QuantizedModel.build(
-        model,
+    # A zero flip probability is deterministic, so one evaluation covers
+    # every repetition (std is 0 by construction).
+    cells = [
+        (probability, repetition)
+        for probability in flip_probabilities
+        for repetition in range(1 if probability == 0.0 else repetitions)
+    ]
+    context = _FaultSweepContext(
+        model=model,
         method=method,
+        calibration_data=calibration_data,
         activation_bits=activation_bits,
         weight_bits=weight_bits,
-        calibration_data=calibration_data,
+        x_test=x_test,
+        y_test=y_test,
+        seed=seed,
     )
-    results: dict[float, tuple[float, float]] = {}
-    try:
-        for probability in flip_probabilities:
-            # A zero flip probability is deterministic, so one evaluation
-            # covers every repetition (std is 0 by construction).
-            runs = 1 if probability == 0.0 else repetitions
-            accuracies = []
-            for repetition in range(runs):
-                injector = MsbBitFlipInjector(
-                    probability=probability, rng=seed * 1000 + repetition
-                )
-                quantized.set_fault_injector(injector)
-                accuracies.append(quantized.accuracy(x_test, y_test))
-            results[probability] = (float(np.mean(accuracies)), float(np.std(accuracies)))
-    finally:
-        quantized.set_fault_injector(None)
-    return results
+    executor = ParallelExecutor(workers=workers, chunk_size=chunk_size)
+    accuracies = executor.map(_fault_cell_task, cells, payload=context)
+
+    per_probability: dict[float, list[float]] = {}
+    for (probability, _), accuracy in zip(cells, accuracies):
+        per_probability.setdefault(probability, []).append(accuracy)
+    return {
+        probability: (float(np.mean(values)), float(np.std(values)))
+        for probability, values in per_probability.items()
+    }
+
+
+@dataclass
+class _QuantizationGridContext:
+    """Shared, picklable state of one quantization-grid sweep."""
+
+    model: Model
+    calibration_data: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+    fp32_accuracy: float
+    calibration_recording: CalibrationRecording | None
+    per_channel: bool
+
+
+def _quantization_tile_task(
+    item: tuple[str, int, int, "int | None"], context: _QuantizationGridContext
+) -> QuantizedEvaluation:
+    """Quantize and evaluate one (method, bit-width) grid tile."""
+    from repro.quantization.registry import get_method
+
+    method_key, activation_bits, weight_bits, bias_bits = item
+    return quantize_and_evaluate(
+        context.model,
+        get_method(method_key),
+        activation_bits=activation_bits,
+        weight_bits=weight_bits,
+        bias_bits=bias_bits,
+        calibration_data=context.calibration_data,
+        x_test=context.x_test,
+        y_test=context.y_test,
+        fp32_accuracy=context.fp32_accuracy,
+        per_channel=context.per_channel,
+        calibration_recording=context.calibration_recording,
+    )
+
+
+def sweep_quantization_grid(
+    model: Model,
+    tiles: "list[tuple[str, int, int, int | None]]",
+    calibration_data: np.ndarray,
+    x_test: np.ndarray,
+    y_test: np.ndarray,
+    fp32_accuracy: float | None = None,
+    calibration_recording: CalibrationRecording | None = None,
+    per_channel: bool = True,
+    workers: int = 0,
+    chunk_size: int | None = None,
+) -> list[QuantizedEvaluation]:
+    """Evaluate a grid of quantization configurations of one model.
+
+    Args:
+        tiles: grid tiles ``(method_key, activation_bits, weight_bits,
+            bias_bits)``; evaluations come back in the same order.
+        fp32_accuracy: FP32 reference accuracy; measured once up front when
+            omitted so workers never repeat the FP32 pass.
+        workers / chunk_size: executor knobs (see
+            :class:`repro.parallel.ParallelExecutor`).  Quantization is
+            deterministic, so any sharding returns identical evaluations.
+
+    This is the engine behind the (method, α, β) case-analysis grids of the
+    surrogate ablation: each tile quantizes independently from the shared
+    calibration recording, so the grid is embarrassingly parallel.
+    """
+    if fp32_accuracy is None:
+        fp32_accuracy = model.accuracy(x_test, y_test)
+    context = _QuantizationGridContext(
+        model=model,
+        calibration_data=calibration_data,
+        x_test=x_test,
+        y_test=y_test,
+        fp32_accuracy=fp32_accuracy,
+        calibration_recording=calibration_recording,
+        per_channel=per_channel,
+    )
+    executor = ParallelExecutor(workers=workers, chunk_size=chunk_size)
+    return executor.map(_quantization_tile_task, tiles, payload=context)

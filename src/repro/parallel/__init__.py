@@ -1,0 +1,37 @@
+"""Process-parallel sweep orchestration.
+
+The paper's headline results are all sweeps — timing-error characterisation
+across ΔVth aging levels, fault injection across flip-probability grids and
+(method, α, β) quantization grids — and every one of them is embarrassingly
+parallel.  This package provides the shared machinery the sweep front-ends
+(:func:`repro.timing.error_model.sweep_timing_errors`,
+:func:`repro.nn.evaluate.sweep_fault_injection`,
+:func:`repro.nn.evaluate.sweep_quantization_grid`) run on:
+
+* :class:`~repro.parallel.executor.ParallelExecutor` — a chunked
+  process-pool ``map`` with a once-per-worker shared payload, ordered result
+  merging and a graceful serial fallback (``workers=0`` or platforms that
+  cannot start worker processes),
+* :mod:`repro.parallel.seeding` — spawn-safe deterministic RNG built on
+  :meth:`numpy.random.SeedSequence.spawn`: one independent child stream per
+  work item, keyed only by the item's position in the sweep, so results are
+  bit-identical for any worker count, chunk size or scheduling order.
+"""
+
+from repro.parallel.executor import ParallelExecutor, resolve_workers, usable_cpu_count
+from repro.parallel.seeding import (
+    root_seed_sequence,
+    shard_sizes,
+    spawn_generators,
+    spawn_seed_sequences,
+)
+
+__all__ = [
+    "ParallelExecutor",
+    "resolve_workers",
+    "usable_cpu_count",
+    "root_seed_sequence",
+    "shard_sizes",
+    "spawn_generators",
+    "spawn_seed_sequences",
+]

@@ -1,0 +1,171 @@
+"""Chunked process-pool executor with ordered result merging.
+
+The executor runs a picklable task function over a list of picklable work
+items, optionally sharing a larger *payload* (netlists, cell-library sets,
+trained models...) that is shipped to each worker process exactly once via
+the pool initializer instead of once per item.  Results always come back in
+work-item order, whatever order the workers complete in, so sweep front-ends
+can merge statistics deterministically.
+
+Falls back to in-process serial execution — same items, same order, same
+results — when ``workers=0``, when there is nothing to parallelise, or on
+platforms that cannot start worker processes at all.  Under spawn-family
+start methods a task/payload that cannot be pickled (e.g. a closure input
+sampler) also falls back serially, with a ``RuntimeWarning``; under fork the
+workers share it by inheritance and run in parallel anyway.  Either way the
+results are identical.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pickle
+import warnings
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_context
+from typing import Any
+
+TaskFunction = Callable[[Any, Any], Any]
+
+#: Chunks submitted per worker when ``chunk_size`` is not given; a few chunks
+#: per worker keeps the pool busy when shard runtimes are uneven without
+#: paying per-item dispatch overhead.
+_CHUNKS_PER_WORKER = 4
+
+# Per-process state installed by the pool initializer: the task function and
+# the shared payload, delivered once per worker instead of once per item.
+_WORKER_TASK: TaskFunction | None = None
+_WORKER_PAYLOAD: Any = None
+
+
+def usable_cpu_count() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a ``workers`` knob: ``None``/``0`` serial, ``-1`` all CPUs."""
+    if workers is None or workers == 0:
+        return 0
+    if workers < 0:
+        return usable_cpu_count()
+    return int(workers)
+
+
+def _initialize_worker(task: TaskFunction, payload: Any) -> None:
+    global _WORKER_TASK, _WORKER_PAYLOAD
+    _WORKER_TASK = task
+    _WORKER_PAYLOAD = payload
+
+
+def _run_chunk(chunk: list[Any]) -> list[Any]:
+    assert _WORKER_TASK is not None, "worker used before initialization"
+    return [_WORKER_TASK(item, _WORKER_PAYLOAD) for item in chunk]
+
+
+class ParallelExecutor:
+    """Maps a task function over work items across worker processes.
+
+    Attributes:
+        workers: number of worker processes; ``0`` runs serially in-process
+            and ``-1`` uses every usable CPU.
+        chunk_size: work items per dispatched chunk.  Chunking only batches
+            IPC — it never changes results, which are determined by the work
+            items alone.  Defaults to ``len(items) / (workers * 4)``.
+        start_method: multiprocessing start method; defaults to ``"fork"``
+            where available (cheap on Linux) and ``"spawn"`` elsewhere.
+            Deterministic sweeps do not depend on the choice.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = 0,
+        chunk_size: int | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.workers = resolve_workers(workers)
+        self.chunk_size = chunk_size
+        self.start_method = start_method
+
+    # ------------------------------------------------------------------ map
+    def map(self, task: TaskFunction, items: Sequence[Any], payload: Any = None) -> list[Any]:
+        """Apply ``task(item, payload)`` to every item, results in item order."""
+        items = list(items)
+        if not items:
+            return []
+        workers = min(self.workers, len(items))
+        if workers <= 0:
+            return self._map_serial(task, items, payload)
+        start_method = self._start_method()
+        # Forked workers inherit the task and payload by memory, so only the
+        # spawn family actually pickles the initargs — pre-checking under
+        # fork would serialize a possibly-large payload just to throw it
+        # away (and would needlessly reject closures that fork can share).
+        if start_method != "fork" and not self._is_picklable(task, payload):
+            warnings.warn(
+                "parallel sweep task or payload is not picklable; "
+                "falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return self._map_serial(task, items, payload)
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=get_context(start_method),
+                initializer=_initialize_worker,
+                initargs=(task, payload),
+            )
+        except (OSError, ValueError, NotImplementedError) as error:  # pragma: no cover
+            warnings.warn(
+                f"could not start worker processes ({error}); "
+                "falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return self._map_serial(task, items, payload)
+        try:
+            chunks = self._chunk(items, workers)
+            futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
+            results: list[Any] = []
+            # Futures are consumed in submission order, which restores work-item
+            # order no matter which worker finished first.
+            for future in futures:
+                results.extend(future.result())
+            return results
+        finally:
+            pool.shutdown(wait=True)
+
+    # -------------------------------------------------------------- helpers
+    @staticmethod
+    def _map_serial(task: TaskFunction, items: list[Any], payload: Any) -> list[Any]:
+        return [task(item, payload) for item in items]
+
+    def _start_method(self) -> str:
+        if self.start_method is not None:
+            return self.start_method
+        import multiprocessing
+
+        methods = multiprocessing.get_all_start_methods()
+        return "fork" if "fork" in methods else "spawn"
+
+    def _chunk(self, items: list[Any], workers: int) -> list[list[Any]]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, math.ceil(len(items) / (workers * _CHUNKS_PER_WORKER)))
+        return [items[start : start + size] for start in range(0, len(items), size)]
+
+    @staticmethod
+    def _is_picklable(task: TaskFunction, payload: Any) -> bool:
+        try:
+            pickle.dumps((task, payload))
+            return True
+        except Exception:
+            return False

@@ -11,7 +11,7 @@ and MSB bit-flip probability as ΔVth grows).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from collections.abc import Callable, Iterable, Mapping
 
 import numpy as np
@@ -25,6 +25,7 @@ from repro.circuits.simulator import (
     TimingSimulator,
     word_to_lane_bits,
 )
+from repro.parallel import ParallelExecutor, shard_sizes, spawn_seed_sequences
 from repro.timing.sta import StaticTimingAnalyzer
 from repro.utils.rng import make_rng
 
@@ -34,6 +35,12 @@ ENGINES = ("auto", "scalar", "batch")
 
 #: Default number of vector pairs packed per bit-parallel batch.
 DEFAULT_BATCH_SIZE = 256
+
+#: Default Monte-Carlo samples per sweep work item.  The shard decomposition
+#: (and therefore the per-shard child RNG streams) depends only on this and
+#: on ``num_samples`` — never on the worker count or chunking — which is what
+#: makes parallel sweep results bit-identical to serial ones.
+DEFAULT_SAMPLES_PER_SHARD = 500
 
 
 @dataclass(frozen=True)
@@ -66,15 +73,72 @@ class TimingErrorStatistics:
         return len(self.bit_flip_probabilities)
 
 
-def _default_sampler(unit: ArithmeticUnit) -> InputSampler:
-    """Uniform random sampler over every input bus of ``unit``."""
+def _resolve_engine(arrival_model: str, engine: str, batch_size: int | None) -> tuple[str, int]:
+    """Validate and resolve the simulation-engine configuration.
 
-    widths = dict(unit.input_widths)
+    Shared by the single-level and sweep entry points so the two can never
+    drift in which (arrival model, engine) combinations they accept.
+    """
+    if arrival_model not in ARRIVAL_MODELS:
+        raise ValueError(f"arrival_model must be one of {ARRIVAL_MODELS}")
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}")
+    if engine == "auto":
+        engine = "batch" if arrival_model in BATCH_ARRIVAL_MODELS else "scalar"
+    if engine == "batch" and arrival_model not in BATCH_ARRIVAL_MODELS:
+        raise ValueError(
+            f"the batched engine only supports the {BATCH_ARRIVAL_MODELS} "
+            f"arrival models, not {arrival_model!r}"
+        )
+    if batch_size is None:
+        batch_size = DEFAULT_BATCH_SIZE
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    return engine, batch_size
 
-    def sample(rng: np.random.Generator) -> dict[str, int]:
-        return {name: int(rng.integers(0, 1 << width)) for name, width in widths.items()}
 
-    return sample
+def _resolve_output_window(
+    unit: ArithmeticUnit,
+    output_bus: str,
+    effective_output_width: int | None,
+    msb_count: int,
+) -> int:
+    """Validate the observed bus and return the effective output width."""
+    if output_bus not in unit.netlist.output_buses:
+        raise KeyError(f"output bus {output_bus!r} not found in unit {unit.name!r}")
+    width = effective_output_width or unit.netlist.output_width(output_bus)
+    if not 0 < width <= unit.netlist.output_width(output_bus):
+        raise ValueError(
+            f"effective_output_width must be in [1, {unit.netlist.output_width(output_bus)}]"
+        )
+    if not 0 < msb_count <= width:
+        raise ValueError(f"msb_count must be in [1, {width}]")
+    return width
+
+
+def _draw_input_vectors(
+    unit: ArithmeticUnit,
+    input_sampler: InputSampler | None,
+    generator: np.random.Generator,
+    count: int,
+) -> list[dict[str, int]]:
+    """Draw ``count`` input vectors, vectorised when no custom sampler is set.
+
+    The default (uniform) sampler draws one whole batch per input bus and RNG
+    call — ``count`` 64-bit words per bus — instead of one Python-int
+    ``rng.integers`` call per bus per sample, which keeps vector generation
+    negligible next to simulation even at paper-scale sample counts.  Both
+    simulation engines consume the same vector list, so scalar and batch
+    statistics stay bit-for-bit identical.
+    """
+    if input_sampler is not None:
+        return [dict(input_sampler(generator)) for _ in range(count)]
+    batches = {
+        name: generator.integers(0, 1 << width, size=count, dtype=np.uint64).tolist()
+        for name, width in unit.input_widths.items()
+    }
+    names = list(batches)
+    return [dict(zip(names, column)) for column in zip(*(batches[name] for name in names))]
 
 
 def characterize_timing_errors(
@@ -123,44 +187,20 @@ def characterize_timing_errors(
         raise ValueError("num_samples must be >= 1")
     if clock_period_ps <= 0:
         raise ValueError("clock_period_ps must be positive")
-    if output_bus not in unit.netlist.output_buses:
-        raise KeyError(f"output bus {output_bus!r} not found in unit {unit.name!r}")
-    if arrival_model not in ARRIVAL_MODELS:
-        raise ValueError(f"arrival_model must be one of {ARRIVAL_MODELS}")
-    if engine not in ENGINES:
-        raise ValueError(f"engine must be one of {ENGINES}")
-    if engine == "auto":
-        engine = "batch" if arrival_model in BATCH_ARRIVAL_MODELS else "scalar"
-    if engine == "batch" and arrival_model not in BATCH_ARRIVAL_MODELS:
-        raise ValueError(
-            f"the batched engine only supports the {BATCH_ARRIVAL_MODELS} "
-            f"arrival models, not {arrival_model!r}"
-        )
-    if batch_size is None:
-        batch_size = DEFAULT_BATCH_SIZE
-    if batch_size < 1:
-        raise ValueError("batch_size must be >= 1")
+    engine, batch_size = _resolve_engine(arrival_model, engine, batch_size)
+    width = _resolve_output_window(unit, output_bus, effective_output_width, msb_count)
 
     generator = make_rng(rng)
-    sampler = input_sampler or _default_sampler(unit)
-
-    width = effective_output_width or unit.netlist.output_width(output_bus)
-    if not 0 < width <= unit.netlist.output_width(output_bus):
-        raise ValueError(
-            f"effective_output_width must be in [1, {unit.netlist.output_width(output_bus)}]"
-        )
-    if not 0 < msb_count <= width:
-        raise ValueError(f"msb_count must be in [1, {width}]")
-
+    vectors = _draw_input_vectors(unit, input_sampler, generator, num_samples + 1)
     if engine == "batch":
-        counters = _characterize_batch(
-            unit, library, clock_period_ps, num_samples, generator, sampler,
-            output_bus, msb_count, width, arrival_model, batch_size,
+        simulator = BatchTimingSimulator(unit.netlist, library, arrival_model=arrival_model)
+        counters = _count_batch(
+            unit, simulator, vectors, clock_period_ps, output_bus, msb_count, width, batch_size
         )
     else:
-        counters = _characterize_scalar(
-            unit, library, clock_period_ps, num_samples, generator, sampler,
-            output_bus, msb_count, width, arrival_model,
+        simulator = TimingSimulator(unit.netlist, library, arrival_model=arrival_model)
+        counters = _count_scalar(
+            simulator, vectors, clock_period_ps, output_bus, msb_count, width
         )
     bit_flip_counts, msb_flip_count, error_count, total_error_distance = counters
 
@@ -175,29 +215,26 @@ def characterize_timing_errors(
     )
 
 
-def _characterize_scalar(
-    unit: ArithmeticUnit,
-    library: CellLibrary,
+def _count_scalar(
+    simulator: TimingSimulator,
+    vectors: list[dict[str, int]],
     clock_period_ps: float,
-    num_samples: int,
-    generator: np.random.Generator,
-    sampler: InputSampler,
     output_bus: str,
     msb_count: int,
     width: int,
-    arrival_model: str,
 ) -> tuple[np.ndarray, int, int, float]:
-    """One-vector-pair-at-a-time Monte-Carlo loop (any arrival model)."""
-    simulator = TimingSimulator(unit.netlist, library, arrival_model=arrival_model)
+    """One-vector-pair-at-a-time Monte-Carlo loop (any arrival model).
+
+    Simulates the transition chain ``vectors[i] -> vectors[i + 1]``.
+    """
+    num_samples = len(vectors) - 1
     bit_flip_counts = np.zeros(width, dtype=np.int64)
     msb_flip_count = 0
     error_count = 0
     total_error_distance = 0.0
 
-    previous_inputs = dict(sampler(generator))
-    for _ in range(num_samples):
-        current_inputs = dict(sampler(generator))
-        evaluation = simulator.propagate(previous_inputs, current_inputs)
+    for index in range(num_samples):
+        evaluation = simulator.propagate(vectors[index], vectors[index + 1])
         exact = evaluation.final_outputs[output_bus]
         captured = evaluation.captured_outputs(clock_period_ps)[output_bus]
         mask = (1 << width) - 1
@@ -213,37 +250,32 @@ def _characterize_scalar(
             msb_mask = ((1 << msb_count) - 1) << (width - msb_count)
             if difference & msb_mask:
                 msb_flip_count += 1
-        previous_inputs = current_inputs
     return bit_flip_counts, msb_flip_count, error_count, total_error_distance
 
 
-def _characterize_batch(
+def _count_batch(
     unit: ArithmeticUnit,
-    library: CellLibrary,
+    simulator: BatchTimingSimulator,
+    vectors: list[dict[str, int]],
     clock_period_ps: float,
-    num_samples: int,
-    generator: np.random.Generator,
-    sampler: InputSampler,
     output_bus: str,
     msb_count: int,
     width: int,
-    arrival_model: str,
     batch_size: int,
 ) -> tuple[np.ndarray, int, int, float]:
     """Bit-parallel Monte-Carlo loop (levelized arrival models).
 
-    Draws the same random vector chain as the scalar loop (vector ``i``
+    Simulates the same transition chain as the scalar loop (vector ``i``
     transitions to vector ``i + 1``), packs up to ``batch_size`` consecutive
     transitions per simulator call, and accumulates identical statistics
     from the packed lane words.
     """
-    simulator = BatchTimingSimulator(unit.netlist, library, arrival_model=arrival_model)
+    num_samples = len(vectors) - 1
     bit_flip_counts = np.zeros(width, dtype=np.int64)
     msb_flip_count = 0
     error_count = 0
     total_error_distance = 0.0
 
-    vectors = [dict(sampler(generator)) for _ in range(num_samples + 1)]
     bus_names = list(unit.netlist.input_buses)
     for start in range(0, num_samples, batch_size):
         stop = min(start + batch_size, num_samples)
@@ -277,6 +309,65 @@ def _characterize_batch(
     return bit_flip_counts, msb_flip_count, error_count, total_error_distance
 
 
+@dataclass
+class _TimingSweepContext:
+    """Shared, picklable state of one timing-error sweep.
+
+    Shipped to each worker process exactly once (via the executor payload),
+    so workers reuse one :class:`AgingAwareLibrarySet` — aged libraries and
+    their memoised delay tables are built once per ΔVth level per process,
+    not once per shard.  The simulator cache itself is per-process scratch
+    state and is deliberately not pickled.
+    """
+
+    unit: ArithmeticUnit
+    library_set: AgingAwareLibrarySet
+    clock_period_ps: float
+    input_sampler: InputSampler | None
+    output_bus: str
+    msb_count: int
+    width: int
+    arrival_model: str
+    engine: str
+    batch_size: int
+    simulator_cache: dict = field(default_factory=dict, repr=False)
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["simulator_cache"] = {}
+        return state
+
+    def simulator(self, level_mv: float) -> "TimingSimulator | BatchTimingSimulator":
+        """Per-process simulator for one aging level (delay tables cached)."""
+        key = (level_mv, self.arrival_model, self.engine)
+        simulator = self.simulator_cache.get(key)
+        if simulator is None:
+            library = self.library_set.library(level_mv)
+            factory = BatchTimingSimulator if self.engine == "batch" else TimingSimulator
+            simulator = factory(self.unit.netlist, library, arrival_model=self.arrival_model)
+            self.simulator_cache[key] = simulator
+        return simulator
+
+
+def _timing_shard_task(
+    item: tuple[float, int, np.random.SeedSequence], context: _TimingSweepContext
+) -> tuple[np.ndarray, int, int, float]:
+    """Simulate one (ΔVth level, sample shard) work item and return counters."""
+    level_mv, shard_samples, seed = item
+    generator = np.random.default_rng(seed)
+    vectors = _draw_input_vectors(context.unit, context.input_sampler, generator, shard_samples + 1)
+    simulator = context.simulator(level_mv)
+    if context.engine == "batch":
+        return _count_batch(
+            context.unit, simulator, vectors, context.clock_period_ps,
+            context.output_bus, context.msb_count, context.width, context.batch_size,
+        )
+    return _count_scalar(
+        simulator, vectors, context.clock_period_ps,
+        context.output_bus, context.msb_count, context.width,
+    )
+
+
 def sweep_timing_errors(
     unit: ArithmeticUnit,
     library_set: AgingAwareLibrarySet,
@@ -289,6 +380,9 @@ def sweep_timing_errors(
     arrival_model: str = "event",
     engine: str = "auto",
     batch_size: int | None = None,
+    workers: int = 0,
+    chunk_size: int | None = None,
+    samples_per_shard: int | None = None,
 ) -> list[TimingErrorStatistics]:
     """Characterise ``unit`` at several aging levels, fresh clock throughout.
 
@@ -296,25 +390,87 @@ def sweep_timing_errors(
     critical-path delay (no guardband) and each level uses its own aged
     library.  ``arrival_model``/``engine``/``batch_size`` select the
     simulation engine exactly as in :func:`characterize_timing_errors`.
+
+    The Monte-Carlo work is sharded by ΔVth level *and* by sample batch
+    within a level (``samples_per_shard`` samples per work item, default
+    :data:`DEFAULT_SAMPLES_PER_SHARD`) and executed on a
+    :class:`~repro.parallel.ParallelExecutor`:
+
+    * ``workers=0`` (default) runs the shards serially in-process; ``N > 0``
+      fans them out over ``N`` worker processes; ``-1`` uses every CPU.
+    * Each work item draws from its own :class:`numpy.random.SeedSequence`
+      child spawned from ``rng``, keyed only by the item's position in the
+      sweep, so the returned statistics are **bit-identical for any
+      ``workers``/``chunk_size``** combination and any scheduling order.
+    * Results are merged in shard order and returned sorted by ΔVth level,
+      regardless of worker completion order.
+
+    A custom ``input_sampler`` that cannot be pickled (e.g. a local closure)
+    still parallelises under the fork start method (workers inherit it); on
+    spawn platforms it degrades the sweep to serial execution with a
+    ``RuntimeWarning``.  The statistics are identical in every case.
     """
-    fresh_sta = StaticTimingAnalyzer(unit, library_set.fresh)
-    fresh_period_ps = fresh_sta.critical_path_delay()
-    generator = make_rng(rng)
+    if num_samples < 1:
+        raise ValueError("num_samples must be >= 1")
+    engine, batch_size = _resolve_engine(arrival_model, engine, batch_size)
+    if samples_per_shard is None:
+        samples_per_shard = DEFAULT_SAMPLES_PER_SHARD
+    if samples_per_shard < 1:
+        raise ValueError("samples_per_shard must be >= 1")
+    output_bus = "out"
+    width = _resolve_output_window(unit, output_bus, effective_output_width, msb_count)
+
+    fresh_period_ps = StaticTimingAnalyzer(unit, library_set.fresh).critical_path_delay()
+    levels = sorted(float(level) for level in levels_mv)
+    shard_plan = shard_sizes(num_samples, samples_per_shard)
+    # One child stream per sample shard, *shared across levels*: every ΔVth
+    # level is characterised on the identical input-transition chain (common
+    # random numbers), which isolates the aging effect and keeps cross-level
+    # comparisons (MED/MSB monotonicity) low-variance even at small sample
+    # counts — exactly what the old sequential implementation could not do.
+    seeds = spawn_seed_sequences(rng, len(shard_plan))
+    items = [
+        (level, shard_samples, seeds[shard_index])
+        for level in levels
+        for shard_index, shard_samples in enumerate(shard_plan)
+    ]
+    context = _TimingSweepContext(
+        unit=unit,
+        library_set=library_set,
+        clock_period_ps=fresh_period_ps,
+        input_sampler=input_sampler,
+        output_bus=output_bus,
+        msb_count=msb_count,
+        width=width,
+        arrival_model=arrival_model,
+        engine=engine,
+        batch_size=batch_size,
+    )
+    executor = ParallelExecutor(workers=workers, chunk_size=chunk_size)
+    counters = executor.map(_timing_shard_task, items, payload=context)
+
     results = []
-    for level in levels_mv:
+    shards_per_level = len(shard_plan)
+    for level_index, level in enumerate(levels):
+        level_counters = counters[level_index * shards_per_level : (level_index + 1) * shards_per_level]
+        bit_flip_counts = np.zeros(width, dtype=np.int64)
+        msb_flip_count = 0
+        error_count = 0
+        total_error_distance = 0.0
+        for bit_flips, msb_flips, errors, distance in level_counters:
+            bit_flip_counts += bit_flips
+            msb_flip_count += msb_flips
+            error_count += errors
+            total_error_distance += distance
         results.append(
-            characterize_timing_errors(
-                unit,
-                library_set.library(level),
+            TimingErrorStatistics(
+                delta_vth_mv=library_set.library(level).delta_vth_mv,
                 clock_period_ps=fresh_period_ps,
                 num_samples=num_samples,
-                rng=generator,
-                input_sampler=input_sampler,
-                msb_count=msb_count,
-                effective_output_width=effective_output_width,
-                arrival_model=arrival_model,
-                engine=engine,
-                batch_size=batch_size,
+                mean_error_distance=total_error_distance / num_samples,
+                error_rate=error_count / num_samples,
+                bit_flip_probabilities=tuple(bit_flip_counts / num_samples),
+                msb_flip_probability=msb_flip_count / num_samples,
             )
         )
     return results

@@ -1,0 +1,306 @@
+"""Tests of the process-parallel sweep subsystem (repro.parallel).
+
+The central property under test is the seed-sharding contract: every sweep
+front-end must produce **bit-identical** results for any ``workers`` /
+``chunk_size`` combination, because work items (and their spawned child RNG
+streams) are fixed before dispatch and merged in item order.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.aging.cell_library import AgingAwareLibrarySet
+from repro.circuits.mac import build_mac, build_multiplier
+from repro.circuits.simulator import LogicSimulator
+from repro.nn.evaluate import sweep_fault_injection, sweep_quantization_grid
+from repro.parallel import (
+    ParallelExecutor,
+    resolve_workers,
+    shard_sizes,
+    spawn_generators,
+    spawn_seed_sequences,
+    usable_cpu_count,
+)
+from repro.quantization.registry import get_method
+from repro.timing.error_model import sweep_timing_errors
+from repro.timing.sta import StaticTimingAnalyzer
+from repro.core.padding import Padding, mac_case_analysis
+
+
+# Module-level task functions: executor tasks must be picklable.
+def _square(item, payload):
+    return item * item
+
+
+def _add_payload(item, payload):
+    return item + payload["offset"]
+
+
+def _fail_on_three(item, payload):
+    if item == 3:
+        raise ValueError("item three is broken")
+    return item
+
+
+# ---------------------------------------------------------------- executor
+class TestParallelExecutor:
+    @pytest.mark.parametrize("workers", [0, 1, 2])
+    @pytest.mark.parametrize("chunk_size", [None, 1, 3])
+    def test_map_preserves_item_order(self, workers, chunk_size):
+        executor = ParallelExecutor(workers=workers, chunk_size=chunk_size)
+        assert executor.map(_square, range(7)) == [i * i for i in range(7)]
+
+    def test_payload_is_shared(self):
+        executor = ParallelExecutor(workers=2, chunk_size=2)
+        assert executor.map(_add_payload, [1, 2, 3], payload={"offset": 10}) == [11, 12, 13]
+
+    def test_empty_items(self):
+        assert ParallelExecutor(workers=2).map(_square, []) == []
+
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_task_errors_propagate(self, workers):
+        executor = ParallelExecutor(workers=workers)
+        with pytest.raises(ValueError, match="item three"):
+            executor.map(_fail_on_three, [1, 2, 3, 4])
+
+    def test_unpicklable_task_falls_back_to_serial_under_spawn(self):
+        captured = []
+
+        def closure_task(item, payload):  # not picklable
+            captured.append(item)
+            return item
+
+        # Spawn must pickle the initargs, so the closure forces the serial
+        # fallback (the pre-check fires before any process is started).
+        executor = ParallelExecutor(workers=2, start_method="spawn")
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            result = executor.map(closure_task, [1, 2])
+        assert result == [1, 2]
+        assert captured == [1, 2]  # ran in this process
+
+    @pytest.mark.skipif(
+        "fork" not in __import__("multiprocessing").get_all_start_methods(),
+        reason="fork start method unavailable",
+    )
+    def test_unpicklable_task_still_parallelises_under_fork(self):
+        def closure_task(item, payload):  # not picklable, but fork-inheritable
+            return item * item
+
+        executor = ParallelExecutor(workers=2, start_method="fork")
+        assert executor.map(closure_task, [1, 2, 3]) == [1, 4, 9]
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(chunk_size=0)
+
+    def test_resolve_workers(self):
+        assert resolve_workers(None) == 0
+        assert resolve_workers(0) == 0
+        assert resolve_workers(3) == 3
+        assert resolve_workers(-1) == usable_cpu_count()
+        assert resolve_workers(-1) >= 1
+
+
+# ----------------------------------------------------------------- seeding
+class TestSeeding:
+    def test_spawn_is_deterministic(self):
+        first = [g.integers(0, 2**32, size=4).tolist() for g in spawn_generators(7, 5)]
+        second = [g.integers(0, 2**32, size=4).tolist() for g in spawn_generators(7, 5)]
+        assert first == second
+
+    def test_children_are_independent(self):
+        draws = [g.integers(0, 2**32, size=4).tolist() for g in spawn_generators(7, 5)]
+        assert len({tuple(d) for d in draws}) == 5
+
+    def test_generator_root_is_consumed_once(self):
+        parent = np.random.default_rng(0)
+        children = spawn_seed_sequences(parent, 3)
+        assert len(children) == 3
+
+    def test_shard_sizes(self):
+        assert shard_sizes(10, 4) == [4, 4, 2]
+        assert shard_sizes(8, 4) == [4, 4]
+        assert shard_sizes(3, 10) == [3]
+        assert shard_sizes(0, 10) == []
+        with pytest.raises(ValueError):
+            shard_sizes(10, 0)
+        with pytest.raises(ValueError):
+            shard_sizes(-1, 4)
+
+    def test_seed_sequences_are_picklable(self):
+        children = spawn_seed_sequences(0, 2)
+        clones = pickle.loads(pickle.dumps(children))
+        assert [np.random.default_rng(c).integers(0, 100) for c in clones] == [
+            np.random.default_rng(c).integers(0, 100) for c in children
+        ]
+
+
+# ---------------------------------------------------------- netlist pickle
+class TestPicklableTaskSpecs:
+    def test_netlist_round_trip_preserves_structure_and_timing(self, library_set):
+        mac = build_mac()
+        clone = pickle.loads(pickle.dumps(mac))
+        assert clone.netlist.stats() == mac.netlist.stats()
+        inputs = {"a": 37, "b": 201, "c": 5000}
+        assert (
+            LogicSimulator(clone.netlist).evaluate(inputs)
+            == LogicSimulator(mac.netlist).evaluate(inputs)
+        )
+        aged = library_set.library(50.0)
+        assert (
+            StaticTimingAnalyzer(clone, aged).critical_path_delay()
+            == StaticTimingAnalyzer(mac, aged).critical_path_delay()
+        )
+
+    def test_round_trip_preserves_fanout_order(self):
+        multiplier = build_multiplier(4, "array")
+        clone = pickle.loads(pickle.dumps(multiplier))
+        for original, copy in zip(multiplier.netlist.gates, clone.netlist.gates):
+            assert original.cell_name == copy.cell_name
+            assert original.output.fanout == copy.output.fanout
+
+
+# ------------------------------------------------------- timing-error sweep
+@pytest.fixture(scope="module")
+def sweep_unit():
+    return build_multiplier(5, "array")
+
+
+def _run_sweep(unit, libraries, **overrides):
+    kwargs = dict(
+        levels_mv=(0.0, 30.0, 50.0),
+        num_samples=60,
+        rng=0,
+        effective_output_width=10,
+        arrival_model="settle",
+        samples_per_shard=16,
+    )
+    kwargs.update(overrides)
+    return sweep_timing_errors(unit, libraries, **kwargs)
+
+
+class TestTimingSweepDeterminism:
+    @pytest.mark.parametrize("workers,chunk_size", [(1, None), (2, 1), (4, 2)])
+    def test_parallel_matches_serial_bit_for_bit(self, sweep_unit, library_set, workers, chunk_size):
+        serial = _run_sweep(sweep_unit, library_set)
+        parallel = _run_sweep(sweep_unit, library_set, workers=workers, chunk_size=chunk_size)
+        assert parallel == serial
+
+    def test_event_model_parallel_matches_serial(self, sweep_unit, library_set):
+        serial = _run_sweep(sweep_unit, library_set, arrival_model="event", num_samples=24)
+        parallel = _run_sweep(
+            sweep_unit, library_set, arrival_model="event", num_samples=24, workers=2
+        )
+        assert parallel == serial
+
+    def test_results_sorted_by_level_regardless_of_input_order(self, sweep_unit, library_set):
+        shuffled = _run_sweep(sweep_unit, library_set, levels_mv=(50.0, 0.0, 30.0))
+        ordered = _run_sweep(sweep_unit, library_set, levels_mv=(0.0, 30.0, 50.0))
+        assert shuffled == ordered
+        assert [stat.delta_vth_mv for stat in shuffled] == [0.0, 30.0, 50.0]
+
+    def test_levels_share_the_input_transition_chain(self, sweep_unit, library_set):
+        """Common random numbers: the fresh level errors nowhere, and every
+        level draws the same vectors, so per-level statistics at one shard
+        plan never depend on which other levels are swept."""
+        alone = _run_sweep(sweep_unit, library_set, levels_mv=(50.0,))
+        together = _run_sweep(sweep_unit, library_set, levels_mv=(0.0, 30.0, 50.0))
+        assert together[-1] == alone[0]
+
+    def test_shard_plan_changes_streams_but_not_contract(self, sweep_unit, library_set):
+        """samples_per_shard is part of the statistical contract (it fixes
+        the shard decomposition), unlike workers/chunk_size which are pure
+        dispatch knobs."""
+        serial = _run_sweep(sweep_unit, library_set, samples_per_shard=64)
+        parallel = _run_sweep(sweep_unit, library_set, samples_per_shard=64, workers=3)
+        assert parallel == serial
+
+    def test_custom_closure_sampler_keeps_results_identical(self, sweep_unit, library_set):
+        """A closure sampler parallelises under fork (inherited) and falls
+        back to serial under spawn — bit-identical statistics either way."""
+        widths = dict(sweep_unit.input_widths)
+
+        def sampler(rng):  # closure: cannot be pickled
+            return {name: int(rng.integers(0, 1 << width)) for name, width in widths.items()}
+
+        serial = _run_sweep(sweep_unit, library_set, input_sampler=sampler)
+        fallback = _run_sweep(sweep_unit, library_set, input_sampler=sampler, workers=2)
+        assert fallback == serial
+        assert serial[-1].error_rate > 0.0
+
+    def test_invalid_samples_per_shard_rejected(self, sweep_unit, library_set):
+        with pytest.raises(ValueError):
+            _run_sweep(sweep_unit, library_set, samples_per_shard=0)
+
+
+# ---------------------------------------------------- fault-injection sweep
+class TestFaultSweepDeterminism:
+    def test_parallel_matches_serial_bit_for_bit(self, tiny_model, tiny_dataset, tiny_calibration):
+        x_test = tiny_dataset.x_test[:40]
+        y_test = tiny_dataset.y_test[:40]
+        kwargs = dict(
+            flip_probabilities=(0.0, 1e-3, 1e-2),
+            repetitions=2,
+            seed=3,
+        )
+        serial = sweep_fault_injection(
+            tiny_model, get_method("M2"), tiny_calibration, x_test, y_test, **kwargs
+        )
+        parallel = sweep_fault_injection(
+            tiny_model, get_method("M2"), tiny_calibration, x_test, y_test,
+            workers=2, chunk_size=1, **kwargs
+        )
+        assert parallel == serial
+        assert set(serial) == {0.0, 1e-3, 1e-2}
+
+
+# ------------------------------------------------------- quantization grid
+class TestQuantizationGridDeterminism:
+    def test_parallel_matches_serial(self, tiny_model, tiny_dataset, tiny_calibration):
+        x_test = tiny_dataset.x_test[:40]
+        y_test = tiny_dataset.y_test[:40]
+        tiles = [
+            (method_key, 8 - alpha, 8 - beta, 16 - alpha - beta)
+            for method_key in ("M2", "M4")
+            for alpha, beta in ((0, 0), (2, 2), (4, 4))
+        ]
+        serial = sweep_quantization_grid(
+            tiny_model, tiles, tiny_calibration, x_test, y_test
+        )
+        parallel = sweep_quantization_grid(
+            tiny_model, tiles, tiny_calibration, x_test, y_test, workers=2, chunk_size=2
+        )
+        assert parallel == serial
+        assert [e.method_key for e in serial] == [t[0] for t in tiles]
+        assert all(e.fp32_accuracy == serial[0].fp32_accuracy for e in serial)
+
+
+# --------------------------------------------------- multi-corner STA pass
+class TestBatchedCaseAnalysis:
+    def test_batch_matches_per_corner_delays(self, paper_mac, library_set):
+        analyzer = StaticTimingAnalyzer(paper_mac, library_set.library(40.0))
+        cases = [None, {}]
+        cases += [
+            mac_case_analysis(alpha, beta, padding)
+            for alpha in (0, 2, 5)
+            for beta in (1, 3)
+            for padding in (Padding.MSB, Padding.LSB)
+        ]
+        batched = analyzer.case_analysis_delays(cases)
+        individual = [analyzer.critical_path_delay(case) for case in cases]
+        assert batched == individual
+
+    def test_single_levelized_pass_per_batch(self, paper_mac, library_set):
+        analyzer = StaticTimingAnalyzer(paper_mac, library_set.fresh)
+        cases = [mac_case_analysis(alpha, alpha, Padding.LSB) for alpha in range(5)]
+        before = analyzer.levelized_passes
+        analyzer.case_analysis_delays(cases)
+        assert analyzer.levelized_passes == before + 1
+
+    def test_empty_batch(self, paper_mac, library_set):
+        analyzer = StaticTimingAnalyzer(paper_mac, library_set.fresh)
+        assert analyzer.case_analysis_delays([]) == []
