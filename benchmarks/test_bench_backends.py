@@ -1,0 +1,143 @@
+"""Benchmarks of the pluggable simulation backends.
+
+Two properties are asserted, matching the PR acceptance criteria:
+
+* at wide batch widths (8192 lanes, far beyond the 512-lane auto-selection
+  crossover) the NumPy ``uint64``-lane backend must beat the bigint
+  word-packed backend by >= 3x on the paper's MAC for both levelized
+  arrival models, with bit-identical evaluations;
+* the corners x lanes levelized STA pass behind ``case_analysis_delays``
+  must reproduce the per-corner ``critical_path_delay`` numbers
+  bit-identically (not approximately) over the full Algorithm 1 grid.
+
+A third, softer benchmark records the measured bigint/ndarray throughput at
+the crossover width that the ``"auto"`` selection heuristic
+(``LANE_BACKEND_MIN_LANES``) encodes.
+
+Like the process-parallel suite, the speedup assertions are skipped on
+machines with fewer than 4 usable CPUs, where shared/noisy hardware makes
+wall-clock ratios unreliable.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.aging.cell_library import AgingAwareLibrarySet
+from repro.circuits.backends import LANE_BACKEND_MIN_LANES, get_backend
+from repro.circuits.mac import build_mac
+from repro.circuits.simulator import BATCH_ARRIVAL_MODELS
+from repro.core.compression import enumerate_compressions
+from repro.core.padding import Padding, mac_case_analysis
+from repro.parallel import usable_cpu_count
+from repro.timing.sta import StaticTimingAnalyzer
+
+#: Batch width of the headline speedup measurement (>= 512-lane criterion).
+WIDE_LANES = 8192
+#: Required ndarray-over-bigint speedup at WIDE_LANES.
+REQUIRED_SPEEDUP = 3.0
+#: Minimum usable CPUs for a meaningful wall-clock ratio (matches the
+#: parallel-sweep benchmark's skip rule).
+MIN_CPUS = 4
+
+_MAC = build_mac()
+_LIBRARIES = AgingAwareLibrarySet.generate((0.0, 50.0))
+
+
+def _batch_inputs(rng, lanes):
+    return {
+        bus: [int(value) for value in rng.integers(0, 1 << len(nets), size=lanes)]
+        for bus, nets in _MAC.netlist.input_buses.items()
+    }
+
+
+def _time_propagate(simulator, previous, current, repetitions=3):
+    simulator.propagate_batch(previous, current)  # warm caches / schedules
+    best = float("inf")
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        evaluation = simulator.propagate_batch(previous, current)
+        best = min(best, time.perf_counter() - start)
+    return best, evaluation
+
+
+@pytest.mark.parametrize("model", BATCH_ARRIVAL_MODELS)
+def test_bench_ndarray_beats_bigint_at_wide_batches(benchmark, model):
+    """ndarray must be >= 3x faster than bigint at 8192-lane MAC batches."""
+    if usable_cpu_count() < MIN_CPUS:
+        pytest.skip(
+            f"needs >= {MIN_CPUS} usable CPUs for a reliable wall-clock "
+            f"ratio (have {usable_cpu_count()})"
+        )
+    library = _LIBRARIES.library(50.0)
+    rng = np.random.default_rng(0)
+    previous = _batch_inputs(rng, WIDE_LANES)
+    current = _batch_inputs(rng, WIDE_LANES)
+
+    lane_sim = get_backend("ndarray").timing_simulator(_MAC.netlist, library, model)
+    bigint_sim = get_backend("bigint").timing_simulator(_MAC.netlist, library, model)
+
+    lane_eval = benchmark.pedantic(
+        lambda: lane_sim.propagate_batch(previous, current), rounds=3, iterations=1
+    )
+    lane_elapsed = benchmark.stats.stats.min
+    bigint_elapsed, bigint_eval = _time_propagate(bigint_sim, previous, current)
+
+    # Bit-identical evaluations, not just close ones.
+    assert np.array_equal(lane_eval.worst_arrival_ps, bigint_eval.worst_arrival_ps)
+    clock = float(np.quantile(bigint_eval.worst_arrival_ps, 0.5)) or 10.0
+    assert lane_eval.captured_outputs(clock) == bigint_eval.captured_outputs(clock)
+
+    speedup = bigint_elapsed / lane_elapsed
+    benchmark.extra_info["lanes"] = WIDE_LANES
+    benchmark.extra_info["bigint_s"] = bigint_elapsed
+    benchmark.extra_info["speedup_vs_bigint"] = speedup
+    assert speedup >= REQUIRED_SPEEDUP
+
+
+def test_bench_crossover_width(benchmark):
+    """At the auto-selection crossover the ndarray backend already wins."""
+    if usable_cpu_count() < MIN_CPUS:
+        pytest.skip(
+            f"needs >= {MIN_CPUS} usable CPUs for a reliable wall-clock "
+            f"ratio (have {usable_cpu_count()})"
+        )
+    library = _LIBRARIES.library(50.0)
+    rng = np.random.default_rng(1)
+    lanes = LANE_BACKEND_MIN_LANES
+    previous = _batch_inputs(rng, lanes)
+    current = _batch_inputs(rng, lanes)
+    lane_sim = get_backend("ndarray").timing_simulator(_MAC.netlist, library, "settle")
+    bigint_sim = get_backend("bigint").timing_simulator(_MAC.netlist, library, "settle")
+
+    lane_elapsed, _ = _time_propagate(lane_sim, previous, current, repetitions=5)
+    benchmark.pedantic(
+        lambda: bigint_sim.propagate_batch(previous, current), rounds=5, iterations=1
+    )
+    bigint_elapsed = benchmark.stats.stats.min
+
+    ratio = bigint_elapsed / lane_elapsed
+    benchmark.extra_info["lanes"] = lanes
+    benchmark.extra_info["speedup_vs_bigint"] = ratio
+    # The heuristic switches exactly where ndarray stops losing; leave slack
+    # for timer noise but catch a regression that moves the crossover.
+    assert ratio >= 1.0
+
+
+def test_bench_corner_sta_grid_bit_identical(benchmark):
+    """The corners x lanes STA pass reproduces per-corner delays exactly."""
+    library = _LIBRARIES.library(50.0)
+    analyzer = StaticTimingAnalyzer(_MAC, library)
+    cases = [
+        mac_case_analysis(
+            choice.alpha, choice.beta, choice.padding,
+            multiplier_width=8, accumulator_width=22,
+        )
+        for choice in enumerate_compressions(6, 6, (Padding.MSB, Padding.LSB))
+    ]
+
+    batched = benchmark(lambda: analyzer.case_analysis_delays(cases))
+    scalar = [analyzer.critical_path_delay(case) for case in cases]
+    assert batched == scalar  # bit-identical floats over the whole grid
+    benchmark.extra_info["corners"] = len(cases)

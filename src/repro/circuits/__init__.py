@@ -13,7 +13,10 @@ package provides the equivalent structural view in pure Python:
   driving circuit,
 * :mod:`repro.circuits.simulator` — zero-delay functional simulation and the
   two-vector timed simulation used for aged-circuit error characterisation,
-  in scalar (one vector at a time) and bit-parallel batched variants.
+  in scalar (one vector at a time) and bit-parallel batched variants,
+* :mod:`repro.circuits.backends` — the pluggable backend registry putting
+  the scalar, bigint word-packed and NumPy ``uint64``-lane engines behind
+  one :class:`~repro.circuits.backends.SimulationBackend` interface.
 """
 
 from repro.circuits.gates import (
@@ -39,8 +42,18 @@ from repro.circuits.simulator import (
     TimedEvaluation,
     TimingSimulator,
 )
+from repro.circuits.backends import (
+    SimulationBackend,
+    backend_names,
+    get_backend,
+    resolve_backend,
+)
 
 __all__ = [
+    "SimulationBackend",
+    "backend_names",
+    "get_backend",
+    "resolve_backend",
     "CELL_FUNCTIONS",
     "WORD_CELL_FUNCTIONS",
     "evaluate_cell",

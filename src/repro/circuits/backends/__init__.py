@@ -1,0 +1,63 @@
+"""Pluggable simulation backends.
+
+See :mod:`repro.circuits.backends.base` for the protocol and
+:mod:`repro.circuits.backends.registry` for name resolution and the
+batch-width auto-selection heuristic.  Importing this package registers the
+three built-in backends (``scalar``, ``bigint``, ``ndarray``) as stateless
+singletons.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.backends.base import (
+    BatchedSimulationBackend,
+    ErrorCounters,
+    SimulationBackend,
+)
+from repro.circuits.backends.bigint import BigintBackend
+from repro.circuits.backends.lane import (
+    LaneBackend,
+    LaneTimedEvaluation,
+    LaneTimingSimulator,
+    LevelizedGraph,
+    corner_case_delays,
+    levelized_graph,
+)
+from repro.circuits.backends.registry import (
+    BACKEND_ALIASES,
+    LANE_BACKEND_MIN_LANES,
+    auto_select,
+    backend_names,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.circuits.backends.scalar import ScalarBackend
+
+SCALAR_BACKEND = register_backend(ScalarBackend())
+BIGINT_BACKEND = register_backend(BigintBackend())
+NDARRAY_BACKEND = register_backend(LaneBackend())
+
+__all__ = [
+    "BACKEND_ALIASES",
+    "BIGINT_BACKEND",
+    "LANE_BACKEND_MIN_LANES",
+    "NDARRAY_BACKEND",
+    "SCALAR_BACKEND",
+    "BatchedSimulationBackend",
+    "BigintBackend",
+    "ErrorCounters",
+    "LaneBackend",
+    "LaneTimedEvaluation",
+    "LaneTimingSimulator",
+    "LevelizedGraph",
+    "ScalarBackend",
+    "SimulationBackend",
+    "auto_select",
+    "backend_names",
+    "corner_case_delays",
+    "get_backend",
+    "levelized_graph",
+    "register_backend",
+    "resolve_backend",
+]

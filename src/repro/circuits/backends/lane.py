@@ -1,0 +1,637 @@
+"""NumPy ``uint64``-lane backend and the shared levelized schedule.
+
+Data layout
+-----------
+
+Every net's lane word is one row of a ``(nets, ceil(lanes / 64))`` uint64
+array — lane ``k`` is bit ``k % 64`` of machine word ``k // 64``, exactly
+the little-endian packing of :func:`repro.utils.bitops.word_to_lane_array`.
+Gates are scheduled by :class:`LevelizedGraph` in two granularities:
+
+* **value evaluation** groups the gates of one logic level by cell type, so
+  one level of ``N`` same-type gates is evaluated with a handful of ufunc
+  calls (gather input rows by fancy indexing, apply the word-level cell
+  function, scatter to output rows) instead of ``N`` Python calls.  The
+  word-level cell functions of
+  :data:`repro.circuits.gates.WORD_CELL_FUNCTIONS` are pure mask/AND/OR/XOR
+  expressions, so the very same table serves bigint words and uint64
+  arrays.
+* **arrival propagation** is cell-agnostic (max over the input arrivals
+  plus the gate delay), so it runs once per *level* over arity-padded
+  input-row matrices: gates narrower than the widest arity repeat their
+  last input row, which is a no-op under ``max``/``or`` and keeps the
+  whole level on one gather per pin regardless of the cell mix.
+
+Dead lanes (the tail of the last machine word when ``lanes`` is not a
+multiple of 64) are allowed to carry garbage: they are seeded identically
+in the previous- and current-vector passes, so XOR-derived perturbation and
+transition masks are zero there, and every bit that leaves the backend is
+masked through :func:`repro.utils.bitops.lane_array_to_bits`.
+
+Arrival propagation
+-------------------
+
+Per-lane arrival times are carried as a ``(nets, lanes)`` float64 array;
+perturbation and value-change masks as ``(nets, lanes)`` booleans.  The
+corner-batched STA pass of :func:`corner_case_delays` runs arrival vectors
+of shape ``(nets, corners)`` through the identical
+:meth:`LevelizedGraph.max_plus_pass` schedule — one levelized traversal
+covers a whole corners (or lanes) batch, which is what
+:meth:`repro.timing.sta.StaticTimingAnalyzer.case_analysis_delays` and the
+batched settle/transition models now share.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.circuits.backends.base import BatchedSimulationBackend, ErrorCounters
+from repro.circuits.constants import propagate_constants
+from repro.circuits.gates import WORD_CELL_FUNCTIONS
+from repro.circuits.netlist import Gate, Netlist
+from repro.circuits.simulator import BATCH_ARRIVAL_MODELS
+from repro.utils.bitops import (
+    UINT64_MASK,
+    bits_to_lane_array,
+    lane_array_to_bits,
+    lane_word_count,
+)
+
+
+@dataclass(frozen=True)
+class ValueGroup:
+    """All gates of one cell type within one logic level.
+
+    Attributes:
+        cell_name: the shared standard cell of the group.
+        input_rows: per input pin, the ``(size,)`` net-row indices.
+        output_rows: ``(size,)`` net-row indices of the gate outputs.
+    """
+
+    cell_name: str
+    input_rows: tuple[np.ndarray, ...]
+    output_rows: np.ndarray
+
+
+@dataclass(frozen=True)
+class LevelPlan:
+    """One logic level of the schedule.
+
+    Attributes:
+        gates: the member gates in topological-order of appearance (the
+            order every per-gate vector — e.g. delays — must follow).
+        value_groups: per cell type, the gather/scatter plan for value
+            evaluation.
+        padded_input_rows: ``(max_arity, size)`` input net rows for the
+            cell-agnostic arrival step; gates with fewer inputs repeat
+            their last input (idempotent under max/or).
+        output_rows: ``(size,)`` output net rows of the whole level.
+        structural_outputs: ``(size,)`` bool, True for outputs forced to a
+            structural constant (they never transition and must not
+            contribute arrival time).
+    """
+
+    gates: tuple[Gate, ...]
+    value_groups: tuple[ValueGroup, ...]
+    padded_input_rows: np.ndarray
+    output_rows: np.ndarray
+    structural_outputs: np.ndarray
+
+
+class LevelizedGraph:
+    """Precomputed gather/scatter schedule of a netlist.
+
+    Nets are numbered into rows of a dense array; gates are grouped by
+    logic level (and, for value evaluation, by cell type within the
+    level).  Levels are emitted in order, so by the time a level runs,
+    every input row it gathers has been written — the vectorised
+    equivalent of the topological gate order.
+    """
+
+    def __init__(self, netlist: Netlist) -> None:
+        # Deliberately no reference to the Netlist itself: the graph is the
+        # *value* of a WeakKeyDictionary keyed by the netlist, and a strong
+        # value->key reference would make cache entries immortal.  Net and
+        # Gate objects carry no back-reference to their netlist, so holding
+        # them (and a copy of the bus dict) is safe.
+        self._input_buses = dict(netlist.input_buses)
+        order = netlist.topological_gates()
+        nets = list(netlist.nets.values())
+        self.nets = nets
+        self.num_nets = len(nets)
+        self.net_row = {net: row for row, net in enumerate(nets)}
+
+        structural = propagate_constants(netlist)
+        self.structural_rows = np.zeros(self.num_nets, dtype=bool)
+        for net in structural:
+            self.structural_rows[self.net_row[net]] = True
+
+        #: Widest gate arity in the netlist: the row count of every level's
+        #: padded input matrix, so new wider cells extend the schedule
+        #: instead of silently dropping their extra pins.
+        self.max_arity = max((len(gate.inputs) for gate in order), default=1)
+
+        depth: dict[Gate, int] = {}
+        for gate in order:
+            level = 0
+            for net in gate.inputs:
+                if net.driver is not None:
+                    level = max(level, depth[net.driver] + 1)
+            depth[gate] = level
+        by_level: dict[int, list[Gate]] = {}
+        for gate in order:
+            by_level.setdefault(depth[gate], []).append(gate)
+
+        self.levels: list[LevelPlan] = []
+        for _, gates in sorted(by_level.items()):
+            by_cell: dict[str, list[Gate]] = {}
+            for gate in gates:
+                by_cell.setdefault(gate.cell_name, []).append(gate)
+            value_groups = tuple(
+                ValueGroup(
+                    cell_name=cell_name,
+                    input_rows=tuple(
+                        np.array(
+                            [self.net_row[gate.inputs[pin]] for gate in members],
+                            dtype=np.intp,
+                        )
+                        for pin in range(len(members[0].inputs))
+                    ),
+                    output_rows=np.array(
+                        [self.net_row[gate.output] for gate in members], dtype=np.intp
+                    ),
+                )
+                for cell_name, members in by_cell.items()
+            )
+            padded = np.array(
+                [
+                    [self.net_row[gate.inputs[min(pin, len(gate.inputs) - 1)]] for gate in gates]
+                    for pin in range(self.max_arity)
+                ],
+                dtype=np.intp,
+            )
+            output_rows = np.array(
+                [self.net_row[gate.output] for gate in gates], dtype=np.intp
+            )
+            self.levels.append(
+                LevelPlan(
+                    gates=tuple(gates),
+                    value_groups=value_groups,
+                    padded_input_rows=padded,
+                    output_rows=output_rows,
+                    structural_outputs=self.structural_rows[output_rows],
+                )
+            )
+
+        self.constant_one_rows = np.array(
+            [row for row, net in enumerate(nets) if net.is_constant and net.constant_value == 1],
+            dtype=np.intp,
+        )
+        self.input_bus_rows = {
+            name: np.array([self.net_row[net] for net in bus_nets], dtype=np.intp)
+            for name, bus_nets in netlist.input_buses.items()
+        }
+        self.output_bus_rows = {
+            name: np.array([self.net_row[net] for net in bus_nets], dtype=np.intp)
+            for name, bus_nets in netlist.output_buses.items()
+        }
+
+    # ------------------------------------------------------------- schedules
+    def level_delays(self, gate_delay_ps: Mapping[Gate, float]) -> list[np.ndarray]:
+        """Per-level delay vectors aligned with each level's gate order."""
+        return [
+            np.array([gate_delay_ps[gate] for gate in level.gates])
+            for level in self.levels
+        ]
+
+    def pack_inputs(
+        self, inputs: Mapping[str, Sequence[int]]
+    ) -> tuple[np.ndarray, int]:
+        """Pack bus-level lane values into a dense ``(nets, words)`` array.
+
+        Returns the value array (rows of nets not covered by an input bus or
+        a constant are zero until gate evaluation writes them) and the lane
+        count.  Validation matches the bigint packing of
+        :func:`repro.circuits.netlist.bus_batches_to_words`.
+        """
+        lanes: int | None = None
+        packed: dict[str, np.ndarray] = {}
+        for bus_name, bus_nets in self._input_buses.items():
+            if bus_name not in inputs:
+                raise KeyError(f"missing values for input bus {bus_name!r}")
+            values_list = list(inputs[bus_name])
+            if lanes is None:
+                lanes = len(values_list)
+                if lanes == 0:
+                    raise ValueError("batched evaluation needs at least one lane")
+            elif len(values_list) != lanes:
+                raise ValueError(
+                    f"bus {bus_name!r} has {len(values_list)} lanes, expected {lanes}"
+                )
+            width = len(bus_nets)
+            if width <= 62:
+                try:
+                    lane_values = np.asarray(values_list, dtype=np.int64)
+                except OverflowError:
+                    lane_values = None
+                if lane_values is None or lane_values.min() < 0 or lane_values.max() >= (
+                    1 << width
+                ):
+                    bad = next(v for v in values_list if v < 0 or v >= (1 << width))
+                    raise ValueError(
+                        f"value {bad} does not fit in {width}-bit bus {bus_name!r}"
+                    )
+                shifts = np.arange(width, dtype=np.uint64)
+                bits = (lane_values.astype(np.uint64)[None, :] >> shifts[:, None]) & np.uint64(1)
+            else:
+                # Buses too wide for int64 lanes: bit-extract on Python ints
+                # (exact for any width, like the bigint packing).
+                bits = np.zeros((width, lanes), dtype=bool)
+                for lane, value in enumerate(values_list):
+                    if value < 0 or value >= (1 << width):
+                        raise ValueError(
+                            f"value {value} does not fit in {width}-bit bus {bus_name!r}"
+                        )
+                    bit = 0
+                    while value:
+                        if value & 1:
+                            bits[bit, lane] = True
+                        value >>= 1
+                        bit += 1
+            packed[bus_name] = bits_to_lane_array(np.asarray(bits, dtype=bool))
+        assert lanes is not None
+        values = np.zeros((self.num_nets, lane_word_count(lanes)), dtype=np.uint64)
+        for bus_name, rows in self.input_bus_rows.items():
+            values[rows] = packed[bus_name]
+        if self.constant_one_rows.size:
+            values[self.constant_one_rows] = UINT64_MASK
+        return values, lanes
+
+    def evaluate(self, values: np.ndarray) -> np.ndarray:
+        """Zero-delay functional pass: fill every gate-output row in place."""
+        for level in self.levels:
+            for group in level.value_groups:
+                func = WORD_CELL_FUNCTIONS[group.cell_name]
+                values[group.output_rows] = func(
+                    UINT64_MASK, *(values[rows] for rows in group.input_rows)
+                )
+        return values
+
+    # -------------------------------------------------------------- arrivals
+    def max_plus_pass(
+        self,
+        level_delays: Sequence[np.ndarray],
+        batch: int,
+        excluded: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """One levelized worst-arrival traversal over a whole batch.
+
+        Arrival vectors are carried as ``(nets, batch)`` float64 — ``batch``
+        being STA corners or Monte-Carlo lanes — and each level runs one
+        vectorised max-plus step (three arity-padded gathers, max, add the
+        per-gate delay).  ``excluded`` is an optional ``(nets, batch)``
+        boolean mask of (net, batch-element) pairs pinned to a constant,
+        whose arrival reads as 0.0 (case analysis).
+        """
+        arrivals = np.zeros((self.num_nets, batch))
+        if excluded is not None:
+            live = ~excluded
+        for level, delays in zip(self.levels, level_delays):
+            in_rows = level.padded_input_rows
+            if excluded is None:
+                latest = arrivals[in_rows[0]]  # fancy indexing copies
+                for rows in in_rows[1:]:
+                    np.maximum(latest, arrivals[rows], out=latest)
+            else:
+                latest = arrivals[in_rows[0]] * live[in_rows[0]]
+                for rows in in_rows[1:]:
+                    np.maximum(latest, arrivals[rows] * live[rows], out=latest)
+            latest += delays[:, None]
+            arrivals[level.output_rows] = latest
+        return arrivals
+
+
+#: One schedule per netlist: every simulator / STA corner pass over the same
+#: netlist shares the grouping (keyed weakly so netlists stay collectable).
+_GRAPH_CACHE: "weakref.WeakKeyDictionary[Netlist, LevelizedGraph]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def levelized_graph(netlist: Netlist) -> LevelizedGraph:
+    """The (cached) levelized gather/scatter schedule of ``netlist``."""
+    graph = _GRAPH_CACHE.get(netlist)
+    if graph is None:
+        graph = LevelizedGraph(netlist)
+        _GRAPH_CACHE[netlist] = graph
+    return graph
+
+
+# ============================================================ corner STA pass
+def corner_case_delays(
+    netlist: Netlist,
+    gate_delay_ps: Mapping[Gate, float],
+    corner_constants: Sequence[Mapping[object, int]],
+) -> list[float]:
+    """Critical-path delays of many case-analysis corners in one pass.
+
+    Arrival vectors of shape ``(nets, corners)`` run through the same
+    levelized :meth:`LevelizedGraph.max_plus_pass` schedule the lane
+    simulator uses for Monte-Carlo lanes; per-corner constants only shape
+    the exclusion mask.  Bit-identical to running a scalar STA traversal
+    once per corner (max-plus over float64 is order-insensitive and every
+    gate adds the same delay; arrivals are non-negative, so masking by
+    multiplication equals exclusion).
+    """
+    if not corner_constants:
+        return []
+    graph = levelized_graph(netlist)
+    corners = len(corner_constants)
+    excluded = np.zeros((graph.num_nets, corners), dtype=bool)
+    for corner, constants in enumerate(corner_constants):
+        for net in constants:
+            excluded[graph.net_row[net], corner] = True
+    arrivals = graph.max_plus_pass(
+        graph.level_delays(gate_delay_ps), corners, excluded=excluded
+    )
+    worst = np.zeros(corners)
+    for net in netlist.primary_output_nets():
+        row = graph.net_row[net]
+        np.maximum(worst, arrivals[row] * ~excluded[row], out=worst)
+    return [float(delay) for delay in worst]
+
+
+# ========================================================== timing simulator
+@dataclass
+class LaneTimedEvaluation:
+    """Result of a lane-array batched two-vector timed simulation.
+
+    The ndarray twin of
+    :class:`~repro.circuits.simulator.BatchTimedEvaluation`: per-bus word
+    containers are ``(bits, ceil(lanes / 64))`` uint64 arrays (LSB-first
+    rows parallel to the output bus nets) instead of bigint lists; arrival
+    and violation containers are identical.
+
+    Attributes:
+        lanes: number of vector pairs in the batch.
+        final_output_words: per bus, the per-bit lane rows after settling.
+        previous_output_words: per bus, the settled lane rows of the
+            previous vectors.
+        output_arrivals_ps: per bus, a ``(bits, lanes)`` float array of
+            final settling times (0.0 for bits that do not change in a
+            lane).
+        worst_arrival_ps: per lane, the latest settling time over all
+            output bits (shape ``(lanes,)``).
+    """
+
+    lanes: int
+    final_output_words: dict[str, np.ndarray]
+    previous_output_words: dict[str, np.ndarray]
+    output_arrivals_ps: dict[str, np.ndarray]
+    worst_arrival_ps: np.ndarray
+
+    def final_outputs(self) -> dict[str, list[int]]:
+        """Per-lane settled output bus values (functionally exact)."""
+        return self._unpack(self.final_output_words)
+
+    def previous_outputs(self) -> dict[str, list[int]]:
+        """Per-lane settled output values of the previous vectors."""
+        return self._unpack(self.previous_output_words)
+
+    def captured_output_words(self, clock_period_ps: float) -> dict[str, np.ndarray]:
+        """Per-bit lane rows captured by a flip-flop at the clock edge.
+
+        A bit whose (single, levelized) change arrives after the edge keeps
+        the stale value of the previous computation, exactly as in the
+        scalar and bigint engines.
+        """
+        if clock_period_ps <= 0:
+            raise ValueError("clock_period_ps must be positive")
+        captured: dict[str, np.ndarray] = {}
+        for bus, final in self.final_output_words.items():
+            previous = self.previous_output_words[bus]
+            late = bits_to_lane_array(self.output_arrivals_ps[bus] > clock_period_ps)
+            captured[bus] = final ^ ((final ^ previous) & late)
+        return captured
+
+    def captured_outputs(self, clock_period_ps: float) -> dict[str, list[int]]:
+        """Per-lane output bus values captured at the clock edge."""
+        return self._unpack(self.captured_output_words(clock_period_ps))
+
+    def has_timing_violation(self, clock_period_ps: float) -> np.ndarray:
+        """Per-lane violation mask: does any bit settle after the edge?
+
+        Always an ``ndarray`` of dtype ``bool`` and shape ``(lanes,)``,
+        matching the bigint batched evaluation's contract.
+        """
+        return np.asarray(self.worst_arrival_ps > clock_period_ps, dtype=bool)
+
+    def _unpack(self, bus_words: dict[str, np.ndarray]) -> dict[str, list[int]]:
+        result: dict[str, list[int]] = {}
+        for bus, words in bus_words.items():
+            bits = lane_array_to_bits(words, self.lanes)
+            if bits.shape[0] < 63:
+                weights = np.int64(1) << np.arange(bits.shape[0], dtype=np.int64)
+                result[bus] = (bits.T.astype(np.int64) @ weights).tolist()
+            else:  # arbitrarily wide buses: accumulate as Python ints
+                values = [0] * self.lanes
+                for bit, row in enumerate(bits):
+                    for lane in np.flatnonzero(row):
+                        values[lane] |= 1 << bit
+                result[bus] = values
+        return result
+
+
+class LaneTimingSimulator:
+    """Batched two-vector timed simulation on uint64 lane arrays.
+
+    Bit-for-bit equivalent to the scalar :class:`~repro.circuits.simulator.
+    TimingSimulator` (and therefore to the bigint
+    :class:`~repro.circuits.simulator.BatchTimingSimulator`) for the
+    levelized arrival models, but evaluated level by level: net values on
+    packed uint64 rows grouped by cell type, arrival/perturbation state on
+    dense per-lane arrays with one arity-padded max-plus (or or-reduce)
+    step per level.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        library,
+        arrival_model: str = "settle",
+    ) -> None:
+        if arrival_model not in BATCH_ARRIVAL_MODELS:
+            raise ValueError(
+                f"arrival_model must be one of {BATCH_ARRIVAL_MODELS} "
+                f"(the event-driven model is only available on the scalar "
+                f"TimingSimulator)"
+            )
+        self.netlist = netlist
+        self.library = library
+        self.arrival_model = arrival_model
+        self.graph = levelized_graph(netlist)
+        gate_delay_ps = {
+            gate: library.delay_ps(gate.cell_name, fanout=gate.output.fanout)
+            for level in self.graph.levels
+            for gate in level.gates
+        }
+        self._level_delays = self.graph.level_delays(gate_delay_ps)
+
+    def propagate_batch(
+        self,
+        previous_inputs: Mapping[str, Sequence[int]],
+        current_inputs: Mapping[str, Sequence[int]],
+    ) -> LaneTimedEvaluation:
+        """Simulate the per-lane transitions from previous to current vectors."""
+        graph = self.graph
+        prev_values, prev_lanes = graph.pack_inputs(previous_inputs)
+        graph.evaluate(prev_values)
+        curr_values, lanes = graph.pack_inputs(current_inputs)
+        if prev_lanes != lanes:
+            raise ValueError(
+                f"previous and current batches differ in lanes ({prev_lanes} vs {lanes})"
+            )
+        settle = self.arrival_model == "settle"
+
+        # Arrival times are dense float64 rows; perturbation (and, for the
+        # transition model, value-change) masks stay *packed* as uint64 rows
+        # — their or/and/xor reductions cost 1/64th of the float traffic,
+        # and a packed equality test against the live-lane pattern gives the
+        # same "every lane active" fast path the bigint engine takes with
+        # ``active == mask`` (skipping the unpack-and-mask entirely, which
+        # is the common case once a few levels of random vectors fan in).
+        words = curr_values.shape[1]
+        live = np.zeros(words, dtype=np.uint64)
+        full, tail = divmod(lanes, 64)
+        live[:full] = UINT64_MASK
+        if tail:
+            live[full] = np.uint64((1 << tail) - 1)
+        perturbed = np.zeros((graph.num_nets, words), dtype=np.uint64)
+        for rows in graph.input_bus_rows.values():
+            perturbed[rows] = curr_values[rows] ^ prev_values[rows]
+        arrivals = np.zeros((graph.num_nets, lanes))
+
+        for level, delays in zip(graph.levels, self._level_delays):
+            for group in level.value_groups:
+                func = WORD_CELL_FUNCTIONS[group.cell_name]
+                curr_values[group.output_rows] = func(
+                    UINT64_MASK, *(curr_values[rows] for rows in group.input_rows)
+                )
+            in_rows = level.padded_input_rows
+            out_rows = level.output_rows
+
+            # Fancy-indexed gathers allocate fresh arrays, so the reductions
+            # can accumulate into the first gather in place.
+            pert = perturbed[in_rows[0]]
+            for rows in in_rows[1:]:
+                np.bitwise_or(pert, perturbed[rows], out=pert)
+            pert[level.structural_outputs] = 0
+            perturbed[out_rows] = pert
+
+            if settle:
+                # Structural / unperturbed / constant inputs all carry a 0.0
+                # arrival row, so the plain max matches the scalar model's
+                # "exclude structural inputs" rule exactly.
+                base = arrivals[in_rows[0]]
+                for rows in in_rows[1:]:
+                    np.maximum(base, arrivals[rows], out=base)
+                active = pert
+            else:  # "transition": only functional value changes carry delay.
+                in_changed = lane_array_to_bits(
+                    curr_values[in_rows] ^ prev_values[in_rows], lanes
+                )
+                base = arrivals[in_rows[0]] * in_changed[0]
+                for pin in range(1, len(in_rows)):
+                    np.maximum(base, arrivals[in_rows[pin]] * in_changed[pin], out=base)
+                active = pert & (curr_values[out_rows] ^ prev_values[out_rows])
+            # Arrivals and delays are non-negative, so masking by the 0/1
+            # active bits is the same as where(active, base + delay, 0.0).
+            base += delays[:, None]
+            if not np.array_equal(active, np.broadcast_to(live, active.shape)):
+                base *= lane_array_to_bits(active, lanes)
+            arrivals[out_rows] = base
+
+        return self._build_evaluation(prev_values, curr_values, arrivals, lanes)
+
+    # ----------------------------------------------------------------- result
+    def _build_evaluation(
+        self,
+        prev_values: np.ndarray,
+        curr_values: np.ndarray,
+        arrivals: np.ndarray,
+        lanes: int,
+    ) -> LaneTimedEvaluation:
+        graph = self.graph
+        final_output_words: dict[str, np.ndarray] = {}
+        previous_output_words: dict[str, np.ndarray] = {}
+        output_arrivals: dict[str, np.ndarray] = {}
+        worst = np.zeros(lanes)
+        for bus, rows in graph.output_bus_rows.items():
+            final = curr_values[rows]
+            previous = prev_values[rows]
+            final_output_words[bus] = final
+            previous_output_words[bus] = previous
+            # As in the scalar engine, a bit only reports an arrival in
+            # lanes where its value actually changes.
+            changed_bits = lane_array_to_bits(final ^ previous, lanes)
+            bus_arrivals = arrivals[rows] * changed_bits
+            output_arrivals[bus] = bus_arrivals
+            if bus_arrivals.size:
+                np.maximum(worst, bus_arrivals.max(axis=0), out=worst)
+        return LaneTimedEvaluation(
+            lanes=lanes,
+            final_output_words=final_output_words,
+            previous_output_words=previous_output_words,
+            output_arrivals_ps=output_arrivals,
+            worst_arrival_ps=worst,
+        )
+
+
+class LaneBackend(BatchedSimulationBackend):
+    """Dense uint64 lane arrays, one level of same-type gates per ufunc."""
+
+    name = "ndarray"
+    arrival_models = BATCH_ARRIVAL_MODELS
+
+    def timing_simulator(self, netlist, library, arrival_model):
+        return LaneTimingSimulator(netlist, library, arrival_model=arrival_model)
+
+    def _batch_counters(
+        self,
+        evaluation: LaneTimedEvaluation,
+        clock_period_ps,
+        output_bus,
+        msb_count,
+        width,
+    ) -> ErrorCounters:
+        lanes = evaluation.lanes
+        exact_bits = lane_array_to_bits(
+            evaluation.final_output_words[output_bus][:width], lanes
+        )
+        captured_bits = lane_array_to_bits(
+            evaluation.captured_output_words(clock_period_ps)[output_bus][:width],
+            lanes,
+        )
+        difference = exact_bits ^ captured_bits
+        # int64 weights overflow from bit 63 up; wide buses fall back to
+        # exact Python-int weights on an object array (same rule as the
+        # evaluation _unpack).
+        if width <= 62:
+            weights = np.int64(1) << np.arange(width, dtype=np.int64)
+            exact_values = exact_bits.T.astype(np.int64) @ weights
+            captured_values = captured_bits.T.astype(np.int64) @ weights
+        else:
+            weights = np.array([1 << bit for bit in range(width)], dtype=object)
+            # matmul has no object-dtype kernel; dot does.
+            exact_values = exact_bits.T.astype(object).dot(weights)
+            captured_values = captured_bits.T.astype(object).dot(weights)
+        return ErrorCounters(
+            difference.sum(axis=1).astype(np.int64),
+            int(difference[width - msb_count :].any(axis=0).sum()),
+            int(difference.any(axis=0).sum()),
+            float(np.abs(exact_values - captured_values).sum()),
+        )

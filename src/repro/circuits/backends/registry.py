@@ -1,0 +1,117 @@
+"""Backend registry and auto-selection.
+
+The registry replaces the ad-hoc engine-string plumbing that used to live
+in :mod:`repro.timing.error_model`: consumers name a backend (or ask for
+``"auto"``) and receive a :class:`~repro.circuits.backends.base.SimulationBackend`
+singleton; every validation rule about (backend, arrival model, batch
+width) combinations lives here, in one place.
+
+Auto-selection
+--------------
+
+``"auto"`` picks the fastest registered backend for the requested arrival
+model and batch width:
+
+* the ``"event"`` arrival model is inherently per-vector, so it always
+  resolves to the scalar backend;
+* the levelized models resolve to the bigint word-packed backend for
+  narrow batches and to the NumPy ``uint64``-lane backend once the batch
+  is at least :data:`LANE_BACKEND_MIN_LANES` lanes wide, the measured
+  crossover where level-vectorised ufunc evaluation beats CPython bigint
+  bit-twiddling (see ``benchmarks/test_bench_backends.py``).
+"""
+
+from __future__ import annotations
+
+from repro.circuits.backends.base import SimulationBackend
+from repro.circuits.simulator import ARRIVAL_MODELS
+
+#: Batch width (in lanes) from which ``"auto"`` prefers the ndarray backend
+#: over the bigint backend.  Measured on the paper's circuits (8x8 array
+#: multiplier and 8x22-bit MAC, settle/transition models): the ndarray
+#: backend pulls ahead of bigint words between 256 and 512 lanes (1.6-2.2x
+#: at 512), and the gap keeps widening with batch width — >= 3x on the MAC
+#: at 4096 lanes, ~3.8x at 8192 (``benchmarks/test_bench_backends.py``
+#: re-measures and asserts this).
+LANE_BACKEND_MIN_LANES = 512
+
+#: Historical aliases accepted wherever a backend name is expected.
+BACKEND_ALIASES = {"batch": "bigint", "lane": "ndarray", "numpy": "ndarray"}
+
+_REGISTRY: dict[str, SimulationBackend] = {}
+
+
+def register_backend(backend: SimulationBackend) -> SimulationBackend:
+    """Register a backend singleton under ``backend.name``."""
+    if not backend.name:
+        raise ValueError("backend must define a non-empty name")
+    if backend.name in _REGISTRY:
+        raise ValueError(f"backend {backend.name!r} is already registered")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def backend_names(include_auto: bool = True) -> tuple[str, ...]:
+    """Registered backend names (optionally with the ``"auto"`` selector)."""
+    names = tuple(sorted(_REGISTRY))
+    return ("auto",) + names if include_auto else names
+
+
+def get_backend(name: str) -> SimulationBackend:
+    """Look up a registered backend by name (aliases resolved)."""
+    resolved = BACKEND_ALIASES.get(name, name)
+    try:
+        return _REGISTRY[resolved]
+    except KeyError:
+        raise ValueError(
+            f"unknown simulation engine/backend {name!r}; registered backends: "
+            f"{backend_names(include_auto=False)} (or 'auto' to select by "
+            f"arrival model and batch width, via resolve_backend)"
+        ) from None
+
+
+def auto_select(arrival_model: str, batch_size: int) -> SimulationBackend:
+    """Pick the fastest backend for an arrival model and batch width."""
+    candidates = [
+        backend for backend in _REGISTRY.values() if backend.supports(arrival_model)
+    ]
+    if not candidates:
+        raise ValueError(
+            f"no registered backend supports arrival model {arrival_model!r}"
+        )
+    batched = [backend for backend in candidates if backend.batched]
+    if not batched:
+        return candidates[0]
+    if batch_size >= LANE_BACKEND_MIN_LANES:
+        wide = [backend for backend in batched if backend.name == "ndarray"]
+        if wide:
+            return wide[0]
+    narrow = [backend for backend in batched if backend.name == "bigint"]
+    return narrow[0] if narrow else batched[0]
+
+
+def resolve_backend(
+    name: str, arrival_model: str, batch_size: int | None, default_batch_size: int = 256
+) -> tuple[SimulationBackend, int]:
+    """Validate and resolve one (backend, arrival model, batch size) request.
+
+    Shared by every error-model entry point so they can never drift in
+    which combinations they accept.  Returns the backend singleton and the
+    effective batch size.
+    """
+    if arrival_model not in ARRIVAL_MODELS:
+        raise ValueError(f"arrival_model must be one of {ARRIVAL_MODELS}")
+    if batch_size is None:
+        batch_size = default_batch_size
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    if name == "auto":
+        backend = auto_select(arrival_model, batch_size)
+    else:
+        backend = get_backend(name)
+    if not backend.supports(arrival_model):
+        raise ValueError(
+            f"the batched engine {backend.name!r} only supports the "
+            f"{backend.arrival_models} arrival models, not {arrival_model!r}"
+        )
+    return backend, batch_size

@@ -40,6 +40,12 @@ technique for high-throughput gate-level fault/timing simulation:
 Both batched classes are bit-for-bit equivalent to running their scalar
 counterpart once per lane; ``tests/test_batch_simulator.py`` enforces this
 with property-based equivalence tests.
+
+The engines in this module are consumed through the pluggable backend
+registry of :mod:`repro.circuits.backends` (``scalar`` wraps
+:class:`TimingSimulator`, ``bigint`` wraps :class:`BatchTimingSimulator`,
+and the ``ndarray`` uint64-lane engine lives in
+:mod:`repro.circuits.backends.lane`).
 """
 
 from __future__ import annotations
@@ -62,23 +68,27 @@ from repro.circuits.netlist import (
     words_to_bus_batches,
 )
 
+# Canonical lane-word <-> array conversions live in repro.utils.bitops (the
+# ndarray backend shares them); re-exported here for backwards compatibility.
+from repro.utils.bitops import lane_bits_to_word, word_to_lane_bits
+
+__all__ = [
+    "ARRIVAL_MODELS",
+    "BATCH_ARRIVAL_MODELS",
+    "BatchLogicSimulator",
+    "BatchTimedEvaluation",
+    "BatchTimingSimulator",
+    "LogicSimulator",
+    "TimedEvaluation",
+    "TimingSimulator",
+    "lane_bits_to_word",
+    "word_to_lane_bits",
+]
+
 ARRIVAL_MODELS = ("event", "settle", "transition")
 
 #: Arrival models supported by the batched (bit-parallel) timing engine.
 BATCH_ARRIVAL_MODELS = ("settle", "transition")
-
-
-def word_to_lane_bits(word: int, lanes: int) -> np.ndarray:
-    """Expand a lane word into a boolean NumPy array of shape ``(lanes,)``."""
-    raw = word.to_bytes((lanes + 7) // 8, "little")
-    bits = np.unpackbits(np.frombuffer(raw, dtype=np.uint8), bitorder="little")
-    return bits[:lanes].astype(bool)
-
-
-def lane_bits_to_word(bits: np.ndarray) -> int:
-    """Pack a boolean array back into a lane word (inverse of the above)."""
-    packed = np.packbits(bits.astype(np.uint8), bitorder="little")
-    return int.from_bytes(packed.tobytes(), "little")
 
 
 class LogicSimulator:
@@ -151,8 +161,13 @@ class TimedEvaluation:
         return captured
 
     def has_timing_violation(self, clock_period_ps: float) -> bool:
-        """Whether any output bit settles after the clock edge."""
-        return self.worst_arrival_ps > clock_period_ps
+        """Whether any output bit settles after the clock edge.
+
+        Always a plain Python :class:`bool` (the batched evaluations return
+        a per-lane ``ndarray[bool]`` instead; the two types are part of the
+        API contract and regression-tested).
+        """
+        return bool(self.worst_arrival_ps > clock_period_ps)
 
 
 class TimingSimulator:
@@ -424,8 +439,13 @@ class BatchTimedEvaluation:
         return self._unpack(self.captured_output_words(clock_period_ps))
 
     def has_timing_violation(self, clock_period_ps: float) -> np.ndarray:
-        """Per-lane boolean array: does any output bit settle after the edge?"""
-        return self.worst_arrival_ps > clock_period_ps
+        """Per-lane violation mask: does any output bit settle after the edge?
+
+        Always an ``ndarray`` of dtype ``bool`` and shape ``(lanes,)`` (the
+        scalar evaluation returns a plain :class:`bool` instead; the two
+        types are part of the API contract and regression-tested).
+        """
+        return np.asarray(self.worst_arrival_ps > clock_period_ps, dtype=bool)
 
     def _unpack(self, bus_words: dict[str, list[int]]) -> dict[str, list[int]]:
         result: dict[str, list[int]] = {}

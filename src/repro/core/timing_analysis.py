@@ -98,6 +98,10 @@ class CompressionTimingAnalyzer:
         :meth:`~repro.timing.sta.StaticTimingAnalyzer.case_analysis_delays`
         in **one** levelized STA pass over the netlist (the per-gate delay
         tables are shared between corners), instead of one pass per corner.
+        The pass runs corner-batched on the ndarray simulation backend's
+        :class:`~repro.circuits.backends.LevelizedGraph` schedule — one
+        arrival-vector element per corner — and is bit-identical to
+        per-corner STA.
         """
         keys = [
             (float(delta_vth_mv), choice.alpha, choice.beta, choice.padding)

@@ -7,13 +7,16 @@ simulator.  The experiment reports the Mean Error Distance (MED) and the
 probability that one of the two most significant product bits is wrong —
 the two curves of the paper's Fig. 1a.
 
-By default the sweep runs on the bit-parallel batched engine with the
+By default the sweep runs on a bit-parallel batched simulation backend
+(``settings.sim_backend``, default ``"auto"``: bigint word-packing for
+narrow batches, the NumPy uint64-lane backend for wide ones) with the
 ``"transition"`` arrival model (``settings.error_arrival_model``), which
 packs ``settings.sim_batch_size`` Monte-Carlo transitions per gate
 evaluation and makes paper-scale sample counts cheap while keeping the
 MSB-flip probabilities in the regime the Fig. 1b fault-injection sweep
-covers.  Set the knob to ``"event"`` for the exact (scalar, event-driven)
-characterisation or ``"settle"`` for the pessimistic upper bound.
+covers.  Set the arrival-model knob to ``"event"`` for the exact (scalar,
+event-driven) characterisation or ``"settle"`` for the pessimistic upper
+bound; backend choice never changes the statistics.
 """
 
 from __future__ import annotations
@@ -41,6 +44,7 @@ def run_fig1a(
         effective_output_width=16,
         msb_count=2,
         arrival_model=settings.error_arrival_model,
+        engine=settings.sim_backend,
         batch_size=settings.sim_batch_size,
         workers=settings.workers,
         chunk_size=settings.chunk_size,
@@ -62,6 +66,7 @@ def run_fig1a(
         metadata={
             "num_samples": settings.error_samples,
             "arrival_model": settings.error_arrival_model,
+            "sim_backend": settings.sim_backend,
             "sim_batch_size": settings.sim_batch_size,
             "clock_period_ps": statistics[0].clock_period_ps if statistics else None,
             "paper_reference": "MED and MSB flip probability rise monotonically with aging; "

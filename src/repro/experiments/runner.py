@@ -15,6 +15,7 @@ import argparse
 from pathlib import Path
 from collections.abc import Callable, Sequence
 
+from repro.circuits.backends import BACKEND_ALIASES, backend_names
 from repro.experiments.ablation_precision_scaling import run_precision_scaling_ablation
 from repro.experiments.ablation_surrogate import run_surrogate_ablation
 from repro.experiments.fig1a_multiplier_errors import run_fig1a
@@ -69,6 +70,24 @@ def run_experiments(
     return results
 
 
+def _positive_int(text: str) -> int:
+    """Argparse type: an integer >= 1 (``--chunk-size``, ``--lanes``)."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
+def _workers_arg(text: str) -> int:
+    """Argparse type: worker count (0 serial, -1 all CPUs, N processes)."""
+    value = int(text)
+    if value < -1:
+        raise argparse.ArgumentTypeError(
+            f"must be >= -1 (0 = serial, -1 = all CPUs), got {value}"
+        )
+    return value
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -87,16 +106,35 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--output", type=Path, default=None, help="directory for JSON results")
     parser.add_argument(
         "--workers",
-        type=int,
+        type=_workers_arg,
         default=0,
         help="worker processes for the parallel sweeps (0 = serial, -1 = all CPUs); "
         "results are bit-identical for any value",
     )
     parser.add_argument(
         "--chunk-size",
-        type=int,
+        type=_positive_int,
         default=None,
         help="work items per parallel dispatch chunk (default: auto)",
+    )
+    parser.add_argument(
+        "--backend",
+        # Registered names plus the documented historical aliases, which
+        # are accepted wherever a backend name is (e.g. "batch" = bigint).
+        choices=backend_names() + tuple(sorted(BACKEND_ALIASES)),
+        default="auto",
+        help="simulation backend for the circuit sweeps (auto picks by arrival "
+        "model and --lanes batch width); results are bit-identical for any value",
+    )
+    parser.add_argument(
+        "--lanes",
+        "--batch-size",
+        dest="lanes",
+        type=_positive_int,
+        default=None,
+        help="Monte-Carlo lanes (vector pairs) per packed simulation batch "
+        "(default: %(default)s -> settings.sim_batch_size); also what the "
+        "auto backend selection keys on",
     )
     arguments = parser.parse_args(argv)
 
@@ -105,11 +143,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     else:
         names = arguments.experiments
     settings_factory = ExperimentSettings.full if arguments.profile == "full" else ExperimentSettings.fast
-    settings = settings_factory(
+    overrides = dict(
         seed=arguments.seed,
         workers=arguments.workers,
         chunk_size=arguments.chunk_size,
+        sim_backend=arguments.backend,
     )
+    if arguments.lanes is not None:
+        overrides["sim_batch_size"] = arguments.lanes
+    settings = settings_factory(**overrides)
 
     results = run_experiments(names, settings=settings, output_dir=arguments.output)
     for result in results:

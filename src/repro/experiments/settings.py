@@ -63,8 +63,8 @@ class ExperimentSettings:
     table1_networks: tuple[str, ...] = ("resnet50", "vgg16", "alexnet", "squeezenet")
     fig1b_networks: tuple[str, ...] = FIG1B_NETWORKS
 
-    # Fig. 1a multiplier error characterisation.  The bit-parallel batched
-    # engine (repro.circuits.simulator) makes large sample counts cheap:
+    # Fig. 1a multiplier error characterisation.  The batched simulation
+    # backends (repro.circuits.backends) make large sample counts cheap:
     # "settle"/"transition" run batched, "event" falls back to the scalar
     # event-driven simulator.  "transition" (optimistic bound) keeps the
     # MSB-flip probabilities in the same 1e-5..1e-2 regime the Fig. 1b
@@ -72,6 +72,15 @@ class ExperimentSettings:
     # the error rate within a few mV of aging.
     error_samples: int = 2000
     error_arrival_model: str = "transition"
+
+    # Simulation-backend selection.  ``sim_backend`` names a registered
+    # backend ("scalar", "bigint", "ndarray") or "auto" to pick by arrival
+    # model and batch width: bigint word-packing for narrow batches, the
+    # NumPy uint64-lane backend once ``sim_batch_size`` (the lane count per
+    # packed batch) reaches the measured crossover — see
+    # repro.circuits.backends.LANE_BACKEND_MIN_LANES.  Backend choice never
+    # changes results, only throughput.
+    sim_backend: str = "auto"
     sim_batch_size: int = 256
 
     # Fig. 1b fault injection.

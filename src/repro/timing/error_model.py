@@ -17,21 +17,13 @@ from collections.abc import Callable, Iterable, Mapping
 import numpy as np
 
 from repro.aging.cell_library import AgingAwareLibrarySet, CellLibrary
+from repro.circuits.backends import ErrorCounters, get_backend, resolve_backend
 from repro.circuits.mac import ArithmeticUnit
-from repro.circuits.simulator import (
-    BATCH_ARRIVAL_MODELS,
-    ARRIVAL_MODELS,
-    BatchTimingSimulator,
-    TimingSimulator,
-    word_to_lane_bits,
-)
 from repro.parallel import ParallelExecutor, shard_sizes, spawn_seed_sequences
 from repro.timing.sta import StaticTimingAnalyzer
 from repro.utils.rng import make_rng
 
 InputSampler = Callable[[np.random.Generator], Mapping[str, int]]
-
-ENGINES = ("auto", "scalar", "batch")
 
 #: Default number of vector pairs packed per bit-parallel batch.
 DEFAULT_BATCH_SIZE = 256
@@ -71,30 +63,6 @@ class TimingErrorStatistics:
     @property
     def output_width(self) -> int:
         return len(self.bit_flip_probabilities)
-
-
-def _resolve_engine(arrival_model: str, engine: str, batch_size: int | None) -> tuple[str, int]:
-    """Validate and resolve the simulation-engine configuration.
-
-    Shared by the single-level and sweep entry points so the two can never
-    drift in which (arrival model, engine) combinations they accept.
-    """
-    if arrival_model not in ARRIVAL_MODELS:
-        raise ValueError(f"arrival_model must be one of {ARRIVAL_MODELS}")
-    if engine not in ENGINES:
-        raise ValueError(f"engine must be one of {ENGINES}")
-    if engine == "auto":
-        engine = "batch" if arrival_model in BATCH_ARRIVAL_MODELS else "scalar"
-    if engine == "batch" and arrival_model not in BATCH_ARRIVAL_MODELS:
-        raise ValueError(
-            f"the batched engine only supports the {BATCH_ARRIVAL_MODELS} "
-            f"arrival models, not {arrival_model!r}"
-        )
-    if batch_size is None:
-        batch_size = DEFAULT_BATCH_SIZE
-    if batch_size < 1:
-        raise ValueError("batch_size must be >= 1")
-    return engine, batch_size
 
 
 def _resolve_output_window(
@@ -175,33 +143,32 @@ def characterize_timing_errors(
             wider); defaults to the full bus width.
         arrival_model: ``"event"`` (exact, glitch-accurate), ``"settle"``
             (pessimistic bound) or ``"transition"`` (optimistic bound).
-        engine: ``"scalar"`` (one vector pair per gate evaluation),
-            ``"batch"`` (bit-parallel word packing; levelized models only)
-            or ``"auto"`` to pick the batched engine whenever the arrival
-            model supports it.  For a given arrival model both engines
-            produce bit-for-bit identical statistics.
-        batch_size: vector pairs per packed word for the batched engine
-            (default :data:`DEFAULT_BATCH_SIZE`).
+        engine: a registered simulation-backend name (``"scalar"``,
+            ``"bigint"``, ``"ndarray"``; ``"batch"`` is a historical alias
+            for ``"bigint"``) or ``"auto"`` to let the registry pick by
+            arrival model and batch width — see
+            :func:`repro.circuits.backends.resolve_backend`.  For a given
+            arrival model every backend produces bit-for-bit identical
+            statistics.
+        batch_size: vector pairs (lanes) per packed batch for the batched
+            backends (default :data:`DEFAULT_BATCH_SIZE`); also what the
+            auto-selection heuristic keys on.
     """
     if num_samples < 1:
         raise ValueError("num_samples must be >= 1")
     if clock_period_ps <= 0:
         raise ValueError("clock_period_ps must be positive")
-    engine, batch_size = _resolve_engine(arrival_model, engine, batch_size)
+    backend, batch_size = resolve_backend(
+        engine, arrival_model, batch_size, default_batch_size=DEFAULT_BATCH_SIZE
+    )
     width = _resolve_output_window(unit, output_bus, effective_output_width, msb_count)
 
     generator = make_rng(rng)
     vectors = _draw_input_vectors(unit, input_sampler, generator, num_samples + 1)
-    if engine == "batch":
-        simulator = BatchTimingSimulator(unit.netlist, library, arrival_model=arrival_model)
-        counters = _count_batch(
-            unit, simulator, vectors, clock_period_ps, output_bus, msb_count, width, batch_size
-        )
-    else:
-        simulator = TimingSimulator(unit.netlist, library, arrival_model=arrival_model)
-        counters = _count_scalar(
-            simulator, vectors, clock_period_ps, output_bus, msb_count, width
-        )
+    simulator = backend.timing_simulator(unit.netlist, library, arrival_model)
+    counters = backend.accumulate_errors(
+        unit, simulator, vectors, clock_period_ps, output_bus, msb_count, width, batch_size
+    )
     bit_flip_counts, msb_flip_count, error_count, total_error_distance = counters
 
     return TimingErrorStatistics(
@@ -215,100 +182,6 @@ def characterize_timing_errors(
     )
 
 
-def _count_scalar(
-    simulator: TimingSimulator,
-    vectors: list[dict[str, int]],
-    clock_period_ps: float,
-    output_bus: str,
-    msb_count: int,
-    width: int,
-) -> tuple[np.ndarray, int, int, float]:
-    """One-vector-pair-at-a-time Monte-Carlo loop (any arrival model).
-
-    Simulates the transition chain ``vectors[i] -> vectors[i + 1]``.
-    """
-    num_samples = len(vectors) - 1
-    bit_flip_counts = np.zeros(width, dtype=np.int64)
-    msb_flip_count = 0
-    error_count = 0
-    total_error_distance = 0.0
-
-    for index in range(num_samples):
-        evaluation = simulator.propagate(vectors[index], vectors[index + 1])
-        exact = evaluation.final_outputs[output_bus]
-        captured = evaluation.captured_outputs(clock_period_ps)[output_bus]
-        mask = (1 << width) - 1
-        exact &= mask
-        captured &= mask
-        if exact != captured:
-            error_count += 1
-            total_error_distance += abs(exact - captured)
-            difference = exact ^ captured
-            for bit in range(width):
-                if (difference >> bit) & 1:
-                    bit_flip_counts[bit] += 1
-            msb_mask = ((1 << msb_count) - 1) << (width - msb_count)
-            if difference & msb_mask:
-                msb_flip_count += 1
-    return bit_flip_counts, msb_flip_count, error_count, total_error_distance
-
-
-def _count_batch(
-    unit: ArithmeticUnit,
-    simulator: BatchTimingSimulator,
-    vectors: list[dict[str, int]],
-    clock_period_ps: float,
-    output_bus: str,
-    msb_count: int,
-    width: int,
-    batch_size: int,
-) -> tuple[np.ndarray, int, int, float]:
-    """Bit-parallel Monte-Carlo loop (levelized arrival models).
-
-    Simulates the same transition chain as the scalar loop (vector ``i``
-    transitions to vector ``i + 1``), packs up to ``batch_size`` consecutive
-    transitions per simulator call, and accumulates identical statistics
-    from the packed lane words.
-    """
-    num_samples = len(vectors) - 1
-    bit_flip_counts = np.zeros(width, dtype=np.int64)
-    msb_flip_count = 0
-    error_count = 0
-    total_error_distance = 0.0
-
-    bus_names = list(unit.netlist.input_buses)
-    for start in range(0, num_samples, batch_size):
-        stop = min(start + batch_size, num_samples)
-        previous = {
-            bus: [vectors[i][bus] for i in range(start, stop)] for bus in bus_names
-        }
-        current = {
-            bus: [vectors[i + 1][bus] for i in range(start, stop)] for bus in bus_names
-        }
-        evaluation = simulator.propagate_batch(previous, current)
-        lanes = evaluation.lanes
-        exact_words = evaluation.final_output_words[output_bus][:width]
-        captured_words = evaluation.captured_output_words(clock_period_ps)[output_bus][:width]
-
-        error_lanes = 0
-        msb_lanes = 0
-        exact_values = np.zeros(lanes, dtype=np.int64)
-        captured_values = np.zeros(lanes, dtype=np.int64)
-        for bit, (exact, captured) in enumerate(zip(exact_words, captured_words)):
-            difference = exact ^ captured
-            if difference:
-                bit_flip_counts[bit] += difference.bit_count()
-                error_lanes |= difference
-                if bit >= width - msb_count:
-                    msb_lanes |= difference
-            exact_values += word_to_lane_bits(exact, lanes).astype(np.int64) << bit
-            captured_values += word_to_lane_bits(captured, lanes).astype(np.int64) << bit
-        error_count += error_lanes.bit_count()
-        msb_flip_count += msb_lanes.bit_count()
-        total_error_distance += float(np.abs(exact_values - captured_values).sum())
-    return bit_flip_counts, msb_flip_count, error_count, total_error_distance
-
-
 @dataclass
 class _TimingSweepContext:
     """Shared, picklable state of one timing-error sweep.
@@ -316,7 +189,9 @@ class _TimingSweepContext:
     Shipped to each worker process exactly once (via the executor payload),
     so workers reuse one :class:`AgingAwareLibrarySet` — aged libraries and
     their memoised delay tables are built once per ΔVth level per process,
-    not once per shard.  The simulator cache itself is per-process scratch
+    not once per shard.  The backend is carried by *name* (backends are
+    stateless registry singletons, so the choice survives pickling into
+    workers trivially); the simulator cache itself is per-process scratch
     state and is deliberately not pickled.
     """
 
@@ -328,7 +203,7 @@ class _TimingSweepContext:
     msb_count: int
     width: int
     arrival_model: str
-    engine: str
+    backend: str
     batch_size: int
     simulator_cache: dict = field(default_factory=dict, repr=False)
 
@@ -337,34 +212,35 @@ class _TimingSweepContext:
         state["simulator_cache"] = {}
         return state
 
-    def simulator(self, level_mv: float) -> "TimingSimulator | BatchTimingSimulator":
+    def simulator(self, level_mv: float):
         """Per-process simulator for one aging level (delay tables cached)."""
-        key = (level_mv, self.arrival_model, self.engine)
+        key = (level_mv, self.arrival_model, self.backend)
         simulator = self.simulator_cache.get(key)
         if simulator is None:
             library = self.library_set.library(level_mv)
-            factory = BatchTimingSimulator if self.engine == "batch" else TimingSimulator
-            simulator = factory(self.unit.netlist, library, arrival_model=self.arrival_model)
+            simulator = get_backend(self.backend).timing_simulator(
+                self.unit.netlist, library, self.arrival_model
+            )
             self.simulator_cache[key] = simulator
         return simulator
 
 
 def _timing_shard_task(
     item: tuple[float, int, np.random.SeedSequence], context: _TimingSweepContext
-) -> tuple[np.ndarray, int, int, float]:
+) -> ErrorCounters:
     """Simulate one (ΔVth level, sample shard) work item and return counters."""
     level_mv, shard_samples, seed = item
     generator = np.random.default_rng(seed)
     vectors = _draw_input_vectors(context.unit, context.input_sampler, generator, shard_samples + 1)
-    simulator = context.simulator(level_mv)
-    if context.engine == "batch":
-        return _count_batch(
-            context.unit, simulator, vectors, context.clock_period_ps,
-            context.output_bus, context.msb_count, context.width, context.batch_size,
-        )
-    return _count_scalar(
-        simulator, vectors, context.clock_period_ps,
-        context.output_bus, context.msb_count, context.width,
+    return get_backend(context.backend).accumulate_errors(
+        context.unit,
+        context.simulator(level_mv),
+        vectors,
+        context.clock_period_ps,
+        context.output_bus,
+        context.msb_count,
+        context.width,
+        context.batch_size,
     )
 
 
@@ -389,12 +265,15 @@ def sweep_timing_errors(
     This is the full Fig. 1a experiment: the clock period is the fresh
     critical-path delay (no guardband) and each level uses its own aged
     library.  ``arrival_model``/``engine``/``batch_size`` select the
-    simulation engine exactly as in :func:`characterize_timing_errors`.
+    simulation backend through the registry exactly as in
+    :func:`characterize_timing_errors`; the resolved backend name is what
+    ships to worker processes, so the choice survives pickling.
 
     The Monte-Carlo work is sharded by ΔVth level *and* by sample batch
     within a level (``samples_per_shard`` samples per work item, default
-    :data:`DEFAULT_SAMPLES_PER_SHARD`) and executed on a
-    :class:`~repro.parallel.ParallelExecutor`:
+    :data:`DEFAULT_SAMPLES_PER_SHARD` or the batch size, whichever is
+    larger, so wide-lane batches are never truncated by the shard plan) and
+    executed on a :class:`~repro.parallel.ParallelExecutor`:
 
     * ``workers=0`` (default) runs the shards serially in-process; ``N > 0``
       fans them out over ``N`` worker processes; ``-1`` uses every CPU.
@@ -412,9 +291,14 @@ def sweep_timing_errors(
     """
     if num_samples < 1:
         raise ValueError("num_samples must be >= 1")
-    engine, batch_size = _resolve_engine(arrival_model, engine, batch_size)
+    backend, batch_size = resolve_backend(
+        engine, arrival_model, batch_size, default_batch_size=DEFAULT_BATCH_SIZE
+    )
     if samples_per_shard is None:
-        samples_per_shard = DEFAULT_SAMPLES_PER_SHARD
+        # A shard must hold at least one full batch, or wide --lanes settings
+        # would silently run partial batches and never reach the lane widths
+        # the ndarray backend is selected for.
+        samples_per_shard = max(DEFAULT_SAMPLES_PER_SHARD, batch_size)
     if samples_per_shard < 1:
         raise ValueError("samples_per_shard must be >= 1")
     output_bus = "out"
@@ -443,7 +327,7 @@ def sweep_timing_errors(
         msb_count=msb_count,
         width=width,
         arrival_model=arrival_model,
-        engine=engine,
+        backend=backend.name,
         batch_size=batch_size,
     )
     executor = ParallelExecutor(workers=workers, chunk_size=chunk_size)
@@ -451,26 +335,21 @@ def sweep_timing_errors(
 
     results = []
     shards_per_level = len(shard_plan)
+    empty = ErrorCounters(np.zeros(width, dtype=np.int64), 0, 0, 0.0)
     for level_index, level in enumerate(levels):
         level_counters = counters[level_index * shards_per_level : (level_index + 1) * shards_per_level]
-        bit_flip_counts = np.zeros(width, dtype=np.int64)
-        msb_flip_count = 0
-        error_count = 0
-        total_error_distance = 0.0
-        for bit_flips, msb_flips, errors, distance in level_counters:
-            bit_flip_counts += bit_flips
-            msb_flip_count += msb_flips
-            error_count += errors
-            total_error_distance += distance
+        # Left-fold in shard order: float sums stay bit-identical to the
+        # serial accumulation for any workers/chunk_size combination.
+        total = sum(level_counters, start=empty)
         results.append(
             TimingErrorStatistics(
                 delta_vth_mv=library_set.library(level).delta_vth_mv,
                 clock_period_ps=fresh_period_ps,
                 num_samples=num_samples,
-                mean_error_distance=total_error_distance / num_samples,
-                error_rate=error_count / num_samples,
-                bit_flip_probabilities=tuple(bit_flip_counts / num_samples),
-                msb_flip_probability=msb_flip_count / num_samples,
+                mean_error_distance=total.total_error_distance / num_samples,
+                error_rate=total.error_count / num_samples,
+                bit_flip_probabilities=tuple(total.bit_flip_counts / num_samples),
+                msb_flip_probability=total.msb_flip_count / num_samples,
             )
         )
     return results

@@ -16,9 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Mapping, Sequence
 
-import numpy as np
-
 from repro.aging.cell_library import CellLibrary
+from repro.circuits.backends import corner_case_delays
 from repro.circuits.constants import propagate_constants
 from repro.circuits.mac import ArithmeticUnit
 from repro.circuits.netlist import Net, Netlist
@@ -117,62 +116,23 @@ class StaticTimingAnalyzer:
         The per-gate delay table is shared by every corner, so instead of
         re-running the levelized traversal per corner (as Algorithm 1's
         original per-(α, β) STA loop did), arrival times are carried as one
-        vector per net — element ``j`` belonging to corner ``j`` — and all
-        corners are reduced in a single traversal over the topological
-        order.  Constants still resolve per corner (they differ between
-        paddings), but that is cheap boolean propagation, not arrival
-        analysis.
+        vector per net — element ``j`` belonging to corner ``j`` — through
+        the corner-batched max-plus pass of the ndarray simulation backend
+        (:func:`repro.circuits.backends.corner_case_delays`): the whole
+        corner batch runs on the same levelized gather/scatter schedule the
+        lane simulator uses for Monte-Carlo lanes.  Constants still resolve
+        per corner (they differ between paddings), but that is cheap
+        boolean propagation, not arrival analysis.
 
         Returns per-corner delays identical to calling
-        :meth:`critical_path_delay` once per corner.
+        :meth:`critical_path_delay` once per corner (max-plus over float64
+        is order-insensitive, so the vectorised pass is bit-identical).
         """
         if not cases:
             return []
         corner_constants = [self._resolve_case_constants(case or {}) for case in cases]
-        corners = len(cases)
         self.levelized_passes += 1
-
-        # Per-net constant masks: True in the corners where the net is tied
-        # to a constant and therefore excluded from arrival propagation.
-        constant_masks: dict[Net, np.ndarray] = {}
-        all_constant_nets = set()
-        for constants in corner_constants:
-            all_constant_nets.update(constants)
-        for net in all_constant_nets:
-            constant_masks[net] = np.array(
-                [net in constants for constants in corner_constants], dtype=bool
-            )
-
-        arrivals: dict[Net, np.ndarray] = {}
-        zeros = np.zeros(corners)
-        for net in self.netlist.nets.values():
-            if net.is_primary_input:
-                arrivals[net] = zeros
-        for gate in self._order:
-            # A constant input contributes 0.0, which matches the scalar
-            # semantics exactly: non-constant arrivals are >= 0 and the
-            # all-constant default is 0.0.
-            latest = zeros
-            for net in gate.inputs:
-                arrival = arrivals.get(net)
-                if arrival is None:
-                    continue
-                mask = constant_masks.get(net)
-                if mask is not None:
-                    arrival = np.where(mask, 0.0, arrival)
-                latest = np.maximum(latest, arrival)
-            arrivals[gate.output] = latest + self._gate_delay_ps[gate]
-
-        worst = zeros
-        for net in self.netlist.primary_output_nets():
-            arrival = arrivals.get(net)
-            if arrival is None:
-                continue
-            mask = constant_masks.get(net)
-            if mask is not None:
-                arrival = np.where(mask, 0.0, arrival)
-            worst = np.maximum(worst, arrival)
-        return [float(delay) for delay in worst]
+        return corner_case_delays(self.netlist, self._gate_delay_ps, corner_constants)
 
     def critical_path(self, case_analysis: Mapping[str, int] | None = None) -> TimingPath:
         """Worst-case path with the nets along it (for reports and debugging)."""

@@ -4,9 +4,39 @@ All helpers operate on plain Python integers interpreted as fixed-width
 unsigned values unless stated otherwise.  Bit index 0 is the least
 significant bit (LSB-first ordering), which matches how circuit buses are
 built in :mod:`repro.circuits`.
+
+Lane words
+----------
+
+The batched simulation backends pack one Monte-Carlo *lane* (vector index)
+per bit: bit ``k`` of a lane word holds a net's 0/1 value in lane ``k``.
+Two interchangeable physical representations are supported, with the
+conversions between them living here so every backend shares one layout:
+
+* an arbitrary-precision Python integer (the ``bigint`` backend), converted
+  to/from boolean arrays with :func:`word_to_lane_bits` /
+  :func:`lane_bits_to_word`;
+* a little-endian ``uint64[ceil(lanes / 64)]`` NumPy array (the ``ndarray``
+  backend), converted with :func:`word_to_lane_array` /
+  :func:`lane_array_to_word` and expanded to/from boolean arrays with
+  :func:`lane_array_to_bits` / :func:`bits_to_lane_array`.  The array
+  variants accept any number of leading axes, so a whole level of nets (or
+  a whole output bus) converts in one call.
 """
 
 from __future__ import annotations
+
+import numpy as np
+
+#: All-ones machine word: the lane mask of a full 64-lane uint64 word.
+UINT64_MASK = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def lane_word_count(lanes: int) -> int:
+    """Number of uint64 words needed to hold ``lanes`` packed lanes."""
+    if lanes < 0:
+        raise ValueError(f"lanes must be non-negative, got {lanes}")
+    return (lanes + 63) // 64
 
 
 def max_unsigned(width: int) -> int:
@@ -76,7 +106,81 @@ def count_set_bits(value: int) -> int:
     """Population count of a non-negative integer."""
     if value < 0:
         raise ValueError(f"value must be non-negative, got {value}")
-    return bin(value).count("1")
+    return value.bit_count()
+
+
+# --------------------------------------------------------------- lane words
+def word_to_lane_bits(word: int, lanes: int) -> np.ndarray:
+    """Expand a lane word into a boolean NumPy array of shape ``(lanes,)``."""
+    raw = word.to_bytes((lanes + 7) // 8, "little")
+    bits = np.unpackbits(np.frombuffer(raw, dtype=np.uint8), bitorder="little")
+    return bits[:lanes].astype(bool)
+
+
+def lane_bits_to_word(bits: np.ndarray) -> int:
+    """Pack a boolean array back into a lane word (inverse of the above)."""
+    packed = np.packbits(np.asarray(bits).astype(np.uint8), bitorder="little")
+    return int.from_bytes(packed.tobytes(), "little")
+
+
+def word_to_lane_array(word: int, lanes: int) -> np.ndarray:
+    """Convert a bigint lane word into a packed ``uint64`` lane array.
+
+    The result has shape ``(lane_word_count(lanes),)``; machine word ``w``
+    holds lanes ``[64 * w, 64 * (w + 1))`` little-endian, so lane ``k`` is
+    bit ``k % 64`` of word ``k // 64``.
+    """
+    words = lane_word_count(lanes)
+    raw = word.to_bytes(words * 8, "little")
+    return np.frombuffer(raw, dtype=np.uint64).copy()
+
+
+def lane_array_to_word(array: np.ndarray, lanes: int) -> int:
+    """Collapse a packed ``uint64`` lane array back into a bigint lane word.
+
+    Bits beyond lane ``lanes - 1`` (the dead tail of the last machine word)
+    are discarded, so backends may carry garbage there.
+    """
+    word = int.from_bytes(np.ascontiguousarray(array, dtype=np.uint64).tobytes(), "little")
+    return word & ((1 << lanes) - 1)
+
+
+def lane_array_to_bits(array: np.ndarray, lanes: int) -> np.ndarray:
+    """Expand packed ``uint64`` lane arrays into boolean arrays.
+
+    ``array`` has shape ``(..., lane_word_count(lanes))``; the result has
+    shape ``(..., lanes)``.  Works on any number of leading axes, so one
+    call expands a whole level of nets.
+    """
+    array = np.ascontiguousarray(array, dtype=np.uint64)
+    bits = np.unpackbits(
+        array.view(np.uint8).reshape(array.shape[:-1] + (array.shape[-1] * 8,)),
+        axis=-1,
+        bitorder="little",
+    )
+    return bits[..., :lanes].astype(bool)
+
+
+def bits_to_lane_array(bits: np.ndarray) -> np.ndarray:
+    """Pack boolean arrays ``(..., lanes)`` into ``(..., words)`` uint64 arrays.
+
+    Dead tail lanes of the last machine word are zero-filled (the inverse of
+    :func:`lane_array_to_bits` for any leading shape).
+    """
+    bits = np.asarray(bits)
+    lanes = bits.shape[-1]
+    words = lane_word_count(lanes)
+    packed = np.packbits(bits.astype(np.uint8), axis=-1, bitorder="little")
+    padded = np.zeros(bits.shape[:-1] + (words * 8,), dtype=np.uint8)
+    padded[..., : packed.shape[-1]] = packed
+    return padded.view(np.uint64).reshape(bits.shape[:-1] + (words,))
+
+
+def lane_array_popcount(array: np.ndarray, lanes: int) -> int:
+    """Total number of set bits over the first ``lanes`` lanes of ``array``."""
+    if lanes == 0:
+        return 0
+    return int(lane_array_to_bits(array, lanes).sum())
 
 
 def to_twos_complement(value: int, width: int) -> int:

@@ -1,0 +1,387 @@
+"""Tests of the pluggable simulation-backend architecture.
+
+Three invariants are enforced:
+
+* **registry** — the three built-in backends resolve by name (and alias),
+  validation lives in one place, and ``"auto"`` selects by arrival model
+  and batch width;
+* **equivalence** — scalar, bigint and ndarray backends produce bit-identical
+  captured outputs, violation masks and Monte-Carlo error counters across
+  random netlists, lane counts and clock periods (property-based);
+* **orchestration** — the backend choice survives pickling into sweep
+  worker processes, and the corner-batched STA pass reproduces the scalar
+  per-corner delays bit-identically.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aging.cell_library import AgingAwareLibrarySet
+from repro.circuits.backends import (
+    LANE_BACKEND_MIN_LANES,
+    LaneTimingSimulator,
+    SimulationBackend,
+    backend_names,
+    corner_case_delays,
+    get_backend,
+    levelized_graph,
+    resolve_backend,
+)
+from repro.circuits.mac import build_mac, build_multiplier
+from repro.circuits.simulator import (
+    BATCH_ARRIVAL_MODELS,
+    BatchTimingSimulator,
+    TimingSimulator,
+)
+from repro.timing.error_model import characterize_timing_errors, sweep_timing_errors
+from repro.timing.sta import StaticTimingAnalyzer
+
+from tests.test_batch_simulator import random_netlists
+
+_MULT5 = build_multiplier(5, "array")
+_MAC = build_mac(multiplier_width=5, accumulator_width=12)
+_LIBRARIES = AgingAwareLibrarySet.generate((0.0, 20.0, 50.0))
+
+ALL_BACKENDS = ("scalar", "bigint", "ndarray")
+BATCHED_BACKENDS = ("bigint", "ndarray")
+
+
+def _lane_inputs(netlist, rng, lanes):
+    return {
+        bus: [int(rng.integers(0, 1 << len(nets))) for _ in range(lanes)]
+        for bus, nets in netlist.input_buses.items()
+    }
+
+
+def _lane_slice(batch, lane):
+    return {bus: values[lane] for bus, values in batch.items()}
+
+
+# ---------------------------------------------------------------- registry
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert backend_names() == ("auto", "bigint", "ndarray", "scalar")
+        for name in ALL_BACKENDS:
+            backend = get_backend(name)
+            assert isinstance(backend, SimulationBackend)
+            assert backend.name == name
+
+    def test_aliases(self):
+        assert get_backend("batch") is get_backend("bigint")
+        assert get_backend("lane") is get_backend("numpy")
+        assert get_backend("lane") is get_backend("ndarray")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            get_backend("gpu")
+
+    def test_auto_selects_scalar_for_event(self):
+        backend, _ = resolve_backend("auto", "event", 10_000)
+        assert backend.name == "scalar"
+
+    def test_auto_selects_bigint_for_narrow_batches(self):
+        backend, batch_size = resolve_backend("auto", "settle", None)
+        assert backend.name == "bigint"
+        assert batch_size == 256
+        backend, _ = resolve_backend("auto", "transition", LANE_BACKEND_MIN_LANES - 1)
+        assert backend.name == "bigint"
+
+    def test_auto_selects_ndarray_for_wide_batches(self):
+        for model in BATCH_ARRIVAL_MODELS:
+            backend, _ = resolve_backend("auto", model, LANE_BACKEND_MIN_LANES)
+            assert backend.name == "ndarray"
+
+    def test_batched_backends_reject_event_model(self):
+        for name in BATCHED_BACKENDS:
+            with pytest.raises(ValueError, match="batched engine"):
+                resolve_backend(name, "event", 64)
+
+    def test_invalid_arrival_model_and_batch_size(self):
+        with pytest.raises(ValueError, match="arrival_model"):
+            resolve_backend("auto", "exact", 64)
+        with pytest.raises(ValueError, match="batch_size"):
+            resolve_backend("auto", "settle", 0)
+
+    def test_backends_pickle_by_identity(self):
+        for name in ALL_BACKENDS:
+            backend = get_backend(name)
+            clone = pickle.loads(pickle.dumps(backend))
+            assert clone.name == backend.name
+
+
+# ------------------------------------------------------- simulator identity
+class TestLaneSimulatorEquivalence:
+    """The ndarray lane simulator against the scalar/bigint references."""
+
+    @pytest.mark.parametrize("model", BATCH_ARRIVAL_MODELS)
+    @pytest.mark.parametrize("level", [0.0, 50.0])
+    def test_matches_bigint_on_mac(self, model, level):
+        rng = np.random.default_rng(11)
+        library = _LIBRARIES.library(level)
+        lanes = 130  # two full words + a partial tail word
+        previous = _lane_inputs(_MAC.netlist, rng, lanes)
+        current = _lane_inputs(_MAC.netlist, rng, lanes)
+        lane_eval = LaneTimingSimulator(_MAC.netlist, library, model).propagate_batch(
+            previous, current
+        )
+        big_eval = BatchTimingSimulator(_MAC.netlist, library, model).propagate_batch(
+            previous, current
+        )
+        assert lane_eval.lanes == big_eval.lanes
+        assert np.array_equal(lane_eval.worst_arrival_ps, big_eval.worst_arrival_ps)
+        assert lane_eval.final_outputs() == big_eval.final_outputs()
+        assert lane_eval.previous_outputs() == big_eval.previous_outputs()
+        clock = float(np.quantile(big_eval.worst_arrival_ps, 0.5)) or 10.0
+        assert lane_eval.captured_outputs(clock) == big_eval.captured_outputs(clock)
+        assert np.array_equal(
+            lane_eval.has_timing_violation(clock), big_eval.has_timing_violation(clock)
+        )
+        for bus, arrivals in big_eval.output_arrivals_ps.items():
+            assert np.array_equal(lane_eval.output_arrivals_ps[bus], arrivals)
+
+    @given(
+        netlist=random_netlists(),
+        seed=st.integers(0, 2**32 - 1),
+        lanes=st.integers(1, 90),
+        model=st.sampled_from(BATCH_ARRIVAL_MODELS),
+        level=st.sampled_from([0.0, 20.0, 50.0]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_scalar_on_random_netlists(self, netlist, seed, lanes, model, level):
+        rng = np.random.default_rng(seed)
+        library = _LIBRARIES.library(level)
+        previous = _lane_inputs(netlist, rng, lanes)
+        current = _lane_inputs(netlist, rng, lanes)
+        evaluation = LaneTimingSimulator(netlist, library, model).propagate_batch(
+            previous, current
+        )
+        scalar_sim = TimingSimulator(netlist, library, arrival_model=model)
+        finals = evaluation.final_outputs()
+        clock = max(float(evaluation.worst_arrival_ps.max()) / 2, 1e-3)
+        captured = evaluation.captured_outputs(clock)
+        violations = evaluation.has_timing_violation(clock)
+        for lane in range(lanes):
+            reference = scalar_sim.propagate(
+                _lane_slice(previous, lane), _lane_slice(current, lane)
+            )
+            assert _lane_slice(finals, lane) == reference.final_outputs
+            assert _lane_slice(captured, lane) == reference.captured_outputs(clock)
+            assert evaluation.worst_arrival_ps[lane] == reference.worst_arrival_ps
+            assert bool(violations[lane]) == reference.has_timing_violation(clock)
+
+    def test_event_model_rejected(self):
+        with pytest.raises(ValueError, match="arrival_model"):
+            LaneTimingSimulator(_MULT5.netlist, _LIBRARIES.fresh, "event")
+
+    def test_lane_count_mismatch_rejected(self):
+        simulator = LaneTimingSimulator(_MULT5.netlist, _LIBRARIES.fresh)
+        with pytest.raises(ValueError, match="lanes"):
+            simulator.propagate_batch({"a": [1, 2], "b": [3, 4]}, {"a": [1], "b": [3]})
+
+    def test_input_validation_matches_bigint_packing(self):
+        simulator = LaneTimingSimulator(_MULT5.netlist, _LIBRARIES.fresh)
+        with pytest.raises(KeyError):
+            simulator.propagate_batch({"a": [1]}, {"a": [1]})
+        with pytest.raises(ValueError):
+            simulator.propagate_batch({"a": [], "b": []}, {"a": [], "b": []})
+        with pytest.raises(ValueError):
+            simulator.propagate_batch({"a": [32], "b": [0]}, {"a": [0], "b": [0]})
+
+    def test_levelized_graph_is_cached_per_netlist(self):
+        assert levelized_graph(_MULT5.netlist) is levelized_graph(_MULT5.netlist)
+
+    def test_levelized_graph_cache_releases_dead_netlists(self):
+        import gc
+        import weakref
+
+        from repro.circuits.mac import build_multiplier
+
+        netlist = build_multiplier(3, "array").netlist
+        levelized_graph(netlist)
+        tracker = weakref.ref(netlist)
+        del netlist
+        gc.collect()
+        assert tracker() is None  # the graph cache must not pin the netlist
+
+    def test_wide_output_bus_counters_are_exact(self):
+        # Output buses past 62 bits exceed int64 bit weights; both batched
+        # backends must fall back to exact Python-int accumulation.
+        from repro.circuits.mac import ArithmeticUnit
+        from repro.circuits.netlist import Netlist
+
+        netlist = Netlist("wide")
+        ins = netlist.add_input_bus("in", 8)
+        outs = []
+        for i in range(70):
+            outs.append(netlist.add_gate("BUF", [ins[i % 8]]))
+        netlist.add_output_bus("out", outs)
+        unit = ArithmeticUnit(
+            netlist=netlist, input_widths={"in": 8}, output_widths={"out": 70}
+        )
+        library = _LIBRARIES.library(50.0)
+        period = StaticTimingAnalyzer(netlist, library).critical_path_delay() / 2
+        results = [
+            characterize_timing_errors(
+                unit, library, period, num_samples=30, rng=3,
+                arrival_model="settle", engine=name, batch_size=8, msb_count=1,
+            )
+            for name in ALL_BACKENDS
+        ]
+        assert results[0] == results[1] == results[2]
+        assert results[0].error_rate > 0.0
+
+
+# ---------------------------------------------------- violation-type contract
+class TestViolationTypes:
+    """has_timing_violation: scalar -> bool, batched -> ndarray[bool]."""
+
+    def test_scalar_returns_plain_bool(self):
+        simulator = TimingSimulator(_MULT5.netlist, _LIBRARIES.library(50.0), "settle")
+        evaluation = simulator.propagate({"a": 0, "b": 0}, {"a": 31, "b": 31})
+        for clock in (1e-6, 1e6):
+            result = evaluation.has_timing_violation(clock)
+            assert type(result) is bool
+
+    @pytest.mark.parametrize("factory", [BatchTimingSimulator, LaneTimingSimulator])
+    def test_batched_return_boolean_ndarray(self, factory):
+        simulator = factory(_MULT5.netlist, _LIBRARIES.library(50.0), "settle")
+        evaluation = simulator.propagate_batch(
+            {"a": [0, 3], "b": [0, 5]}, {"a": [31, 3], "b": [31, 5]}
+        )
+        for clock in (1e-6, 1e6):
+            result = evaluation.has_timing_violation(clock)
+            assert isinstance(result, np.ndarray)
+            assert result.dtype == np.dtype(bool)
+            assert result.shape == (2,)
+
+
+# ------------------------------------------------------ error-model identity
+class TestErrorModelBackendEquivalence:
+    @pytest.mark.parametrize("model", BATCH_ARRIVAL_MODELS)
+    def test_all_backends_identical_statistics(self, model):
+        unit = build_multiplier(6, "array")
+        library = _LIBRARIES.library(50.0)
+        period = StaticTimingAnalyzer(unit, _LIBRARIES.fresh).critical_path_delay()
+        kwargs = dict(
+            num_samples=150,
+            rng=0,
+            effective_output_width=12,
+            arrival_model=model,
+        )
+        results = {
+            name: characterize_timing_errors(
+                unit, library, period, engine=name, batch_size=64, **kwargs
+            )
+            for name in ALL_BACKENDS
+        }
+        assert results["scalar"] == results["bigint"] == results["ndarray"]
+        assert results["scalar"].error_rate > 0.0
+
+    @given(
+        netlist=random_netlists(),
+        seed=st.integers(0, 2**32 - 1),
+        samples=st.integers(1, 40),
+        batch_size=st.sampled_from([1, 7, 64, 100]),
+        model=st.sampled_from(BATCH_ARRIVAL_MODELS),
+        clock_scale=st.floats(0.2, 1.2),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_identical_counters_on_random_netlists(
+        self, netlist, seed, samples, batch_size, model, clock_scale
+    ):
+        from repro.circuits.mac import ArithmeticUnit
+
+        unit = ArithmeticUnit(
+            netlist=netlist,
+            input_widths={name: len(nets) for name, nets in netlist.input_buses.items()},
+            output_widths={name: len(nets) for name, nets in netlist.output_buses.items()},
+        )
+        library = _LIBRARIES.library(50.0)
+        period = max(
+            StaticTimingAnalyzer(netlist, library).critical_path_delay() * clock_scale,
+            1e-3,
+        )
+        results = [
+            characterize_timing_errors(
+                unit,
+                library,
+                period,
+                num_samples=samples,
+                rng=seed,
+                arrival_model=model,
+                engine=name,
+                batch_size=batch_size,
+                msb_count=1,
+            )
+            for name in ALL_BACKENDS
+        ]
+        assert results[0] == results[1] == results[2]
+
+    def test_sweep_backend_choice_survives_worker_pickling(self):
+        unit = build_multiplier(4, "array")
+        kwargs = dict(
+            levels_mv=(0.0, 50.0),
+            num_samples=40,
+            rng=7,
+            arrival_model="settle",
+            batch_size=16,
+            samples_per_shard=10,
+        )
+        serial = {
+            name: sweep_timing_errors(unit, _LIBRARIES, engine=name, workers=0, **kwargs)
+            for name in ALL_BACKENDS
+        }
+        assert serial["scalar"] == serial["bigint"] == serial["ndarray"]
+        parallel = sweep_timing_errors(
+            unit, _LIBRARIES, engine="ndarray", workers=2, **kwargs
+        )
+        assert parallel == serial["ndarray"]
+
+
+# ----------------------------------------------------------- corner STA pass
+class TestCornerStaPass:
+    def test_reproduces_scalar_case_analysis_bit_identically(self):
+        from repro.core.compression import enumerate_compressions
+        from repro.core.padding import Padding, mac_case_analysis
+
+        mac = build_mac()
+        library = _LIBRARIES.library(50.0)
+        analyzer = StaticTimingAnalyzer(mac, library)
+        cases = [
+            mac_case_analysis(
+                choice.alpha, choice.beta, choice.padding,
+                multiplier_width=8, accumulator_width=22,
+            )
+            for choice in enumerate_compressions(4, 4, (Padding.MSB, Padding.LSB))
+        ]
+        batched = analyzer.case_analysis_delays(cases)
+        scalar = [analyzer.critical_path_delay(case) for case in cases]
+        assert batched == scalar  # bit-identical floats, not approx
+
+    def test_shared_pass_counts_once(self):
+        analyzer = StaticTimingAnalyzer(_MAC, _LIBRARIES.fresh)
+        before = analyzer.levelized_passes
+        analyzer.case_analysis_delays([None, {"a[0]": 0}, {"a[1]": 1}])
+        assert analyzer.levelized_passes == before + 1
+
+    def test_corner_pass_direct_api(self):
+        netlist = _MULT5.netlist
+        library = _LIBRARIES.library(20.0)
+        delays = {
+            gate: library.delay_ps(gate.cell_name, fanout=gate.output.fanout)
+            for gate in netlist.topological_gates()
+        }
+        constants = [{}, {netlist.nets["a[0]"]: 0, netlist.nets["a[1]"]: 0}]
+        from repro.circuits.constants import propagate_constants
+
+        resolved = [propagate_constants(netlist, c) for c in constants]
+        delays_out = corner_case_delays(netlist, delays, resolved)
+        assert len(delays_out) == 2
+        assert delays_out[0] >= delays_out[1] > 0.0
+
+    def test_empty_corner_list(self):
+        analyzer = StaticTimingAnalyzer(_MAC, _LIBRARIES.fresh)
+        assert analyzer.case_analysis_delays([]) == []

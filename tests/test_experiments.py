@@ -153,3 +153,35 @@ class TestRunner:
         captured = capsys.readouterr()
         assert "Fig. 4a" in captured.out
         assert (tmp_path / "fig4a.json").exists()
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["--workers", "-2"],
+            ["--workers", "nope"],
+            ["--chunk-size", "0"],
+            ["--chunk-size", "-4"],
+            ["--lanes", "0"],
+            ["--lanes", "-64"],
+            ["--batch-size", "0"],
+            ["--backend", "gpu"],
+        ],
+    )
+    def test_cli_rejects_invalid_parallel_and_backend_args(self, argv, capsys):
+        """Bad --workers/--chunk-size/--lanes values fail at parse time.
+
+        Previously a zero/negative value fell through to confusing errors
+        deep inside the sweep machinery; argparse must reject it up front.
+        """
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--experiments", "fig2", *argv])
+        assert excinfo.value.code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_cli_accepts_backend_and_lanes(self, capsys):
+        exit_code = main(
+            ["--experiments", "fig2", "--backend", "ndarray", "--lanes", "512",
+             "--workers", "0"]
+        )
+        assert exit_code == 0
+        assert "Fig. 2" in capsys.readouterr().out

@@ -1,8 +1,12 @@
 """Unit tests for repro.utils.bitops."""
 
+import numpy as np
 import pytest
 
 from repro.utils import bitops
+
+#: Lane counts straddling every machine-word boundary condition.
+EDGE_LANE_COUNTS = (0, 1, 63, 64, 65)
 
 
 class TestIntBitsRoundTrip:
@@ -85,6 +89,60 @@ class TestHammingAndPopcount:
     def test_count_negative_raises(self):
         with pytest.raises(ValueError):
             bitops.count_set_bits(-3)
+
+
+class TestLaneWordConversions:
+    """Round trips of the lane-word <-> ndarray conversions at word edges."""
+
+    @pytest.mark.parametrize("lanes", EDGE_LANE_COUNTS)
+    def test_word_bits_round_trip(self, lanes):
+        rng = np.random.default_rng(lanes)
+        bits = rng.integers(0, 2, size=lanes).astype(bool)
+        word = bitops.lane_bits_to_word(bits)
+        assert word >> max(lanes, 1) == 0  # no stray bits past the last lane
+        recovered = bitops.word_to_lane_bits(word, lanes)
+        assert recovered.shape == (lanes,)
+        assert (recovered == bits).all()
+
+    @pytest.mark.parametrize("lanes", EDGE_LANE_COUNTS)
+    def test_word_array_round_trip(self, lanes):
+        rng = np.random.default_rng(100 + lanes)
+        word = int(bitops.lane_bits_to_word(rng.integers(0, 2, size=lanes).astype(bool)))
+        array = bitops.word_to_lane_array(word, lanes)
+        assert array.dtype == np.uint64
+        assert array.shape == (bitops.lane_word_count(lanes),)
+        assert bitops.lane_array_to_word(array, lanes) == word
+
+    @pytest.mark.parametrize("lanes", EDGE_LANE_COUNTS)
+    def test_array_bits_round_trip(self, lanes):
+        rng = np.random.default_rng(200 + lanes)
+        bits = rng.integers(0, 2, size=(3, lanes)).astype(bool)
+        packed = bitops.bits_to_lane_array(bits)
+        assert packed.dtype == np.uint64
+        assert packed.shape == (3, bitops.lane_word_count(lanes))
+        assert (bitops.lane_array_to_bits(packed, lanes) == bits).all()
+
+    def test_all_ones_at_word_boundaries(self):
+        for lanes in (1, 63, 64, 65):
+            word = (1 << lanes) - 1
+            assert bitops.word_to_lane_bits(word, lanes).all()
+            array = bitops.word_to_lane_array(word, lanes)
+            assert bitops.lane_array_popcount(array, lanes) == lanes
+
+    def test_dead_tail_lanes_are_discarded(self):
+        # lane_array_to_word must mask garbage past the last live lane.
+        array = np.array([np.uint64(0xFFFFFFFFFFFFFFFF)])
+        assert bitops.lane_array_to_word(array, 3) == 0b111
+        assert bitops.lane_array_popcount(array, 3) == 3
+
+    def test_word_count(self):
+        assert [bitops.lane_word_count(n) for n in EDGE_LANE_COUNTS] == [0, 1, 1, 1, 2]
+        with pytest.raises(ValueError):
+            bitops.lane_word_count(-1)
+
+    def test_count_set_bits_matches_int_bit_count(self):
+        for value in (0, 1, (1 << 63) | 1, (1 << 200) - 1):
+            assert bitops.count_set_bits(value) == value.bit_count()
 
 
 class TestTwosComplement:
