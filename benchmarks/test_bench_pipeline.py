@@ -1,0 +1,103 @@
+"""Benchmarks of the dependency-aware experiment pipeline (repro.pipeline).
+
+Two properties are asserted, matching the PR acceptance criteria:
+
+* running the three independent circuit-side experiments (fig1a, fig2,
+  table2) concurrently on 4 workers must beat the sequential pipeline by
+  >= 1.3x wall clock (skipped on machines with fewer than 4 usable CPUs),
+  with bit-identical results;
+* a warm-cache rerun must execute zero experiment bodies and return the
+  identical results from the artifact cache.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.experiments.reporting import _jsonify
+from repro.experiments.settings import ExperimentSettings
+from repro.parallel import usable_cpu_count
+from repro.pipeline import run_pipeline
+
+#: Worker count of the speedup benchmark (the acceptance criterion).
+SPEEDUP_WORKERS = 4
+#: Required sequential-vs-concurrent speedup at SPEEDUP_WORKERS workers.
+REQUIRED_SPEEDUP = 1.3
+#: The independent experiments the concurrency benchmark overlaps.
+CONCURRENT_EXPERIMENTS = ("fig1a", "fig2", "table2")
+
+
+def _pipeline_settings(workers: int = 0) -> ExperimentSettings:
+    """Circuit-side-only settings sized so each experiment takes ~0.1-1s."""
+    return ExperimentSettings.fast(
+        workers=workers,
+        error_samples=4000,
+        max_alpha=6,
+        max_beta=6,
+        fig2_max_compression=6,
+    )
+
+
+def _canonical(results) -> list[str]:
+    return [json.dumps(r.to_dict(), default=_jsonify) for r in results.results_list()]
+
+
+def test_bench_pipeline_concurrent_experiments_speedup(benchmark):
+    """Sequential vs 4-worker fig1a+fig2+table2 (bit-identical results)."""
+    if usable_cpu_count() < SPEEDUP_WORKERS:
+        pytest.skip(
+            f"needs >= {SPEEDUP_WORKERS} usable CPUs for a meaningful "
+            f"concurrency measurement (have {usable_cpu_count()})"
+        )
+
+    # Best-of-N wall clocks on both sides: single-shot timings are too noisy
+    # for a hard CI assertion on shared runners.
+    serial_elapsed = float("inf")
+    serial_run = None
+    for _ in range(2):
+        start = time.perf_counter()
+        serial_run = run_pipeline(
+            list(CONCURRENT_EXPERIMENTS), _pipeline_settings(workers=0), cache=False
+        )
+        serial_elapsed = min(serial_elapsed, time.perf_counter() - start)
+
+    parallel_run = benchmark.pedantic(
+        lambda: run_pipeline(
+            list(CONCURRENT_EXPERIMENTS),
+            _pipeline_settings(workers=SPEEDUP_WORKERS),
+            cache=False,
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    parallel_elapsed = benchmark.stats.stats.min
+
+    assert _canonical(parallel_run) == _canonical(serial_run), (
+        "concurrent pipeline results drifted from the sequential reference"
+    )
+    speedup = serial_elapsed / parallel_elapsed
+    benchmark.extra_info["serial_seconds"] = serial_elapsed
+    benchmark.extra_info["speedup_vs_serial"] = speedup
+    benchmark.extra_info["workers"] = SPEEDUP_WORKERS
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"concurrent pipeline speedup {speedup:.2f}x below the "
+        f"{REQUIRED_SPEEDUP}x acceptance threshold "
+        f"(serial {serial_elapsed:.2f}s, {SPEEDUP_WORKERS}-worker {parallel_elapsed:.2f}s)"
+    )
+
+
+def test_bench_pipeline_warm_cache_executes_nothing(tmp_path, benchmark):
+    """A warm rerun is pure cache: zero experiment bodies, same results."""
+    settings = _pipeline_settings()
+    cold = run_pipeline(list(CONCURRENT_EXPERIMENTS), settings, cache_dir=tmp_path)
+    assert cold.executed_experiments == CONCURRENT_EXPERIMENTS
+
+    warm = benchmark(
+        lambda: run_pipeline(list(CONCURRENT_EXPERIMENTS), settings, cache_dir=tmp_path)
+    )
+    assert warm.executed == ()
+    assert warm.cache_hits == CONCURRENT_EXPERIMENTS
+    assert _canonical(warm) == _canonical(cold)

@@ -47,3 +47,13 @@ __all__ = [
     "run_table2",
     "ExperimentWorkspace",
 ]
+
+
+def __getattr__(name):  # pragma: no cover - convenience re-export
+    # Lazy bridge to the pipeline layer (a module-level import would be
+    # circular: repro.pipeline imports the experiment modules).
+    if name in ("run_pipeline", "PipelineRun"):
+        import repro.pipeline
+
+        return getattr(repro.pipeline, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

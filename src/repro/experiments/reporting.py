@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from collections.abc import Sequence
 
+from repro.utils.io import atomic_write_text
 from repro.utils.tables import format_table
 
 
@@ -43,11 +44,15 @@ class ExperimentResult:
         }
 
     def save_json(self, path: "str | Path") -> Path:
-        """Persist the result (and metadata) as JSON; returns the path."""
+        """Persist the result (and metadata) as JSON; returns the path.
+
+        The write is atomic (serialise fully, write a temp sibling, then
+        ``os.replace``), so an interrupted run can never leave a truncated
+        JSON file behind; parent directories are created as needed.
+        """
         path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.to_dict(), indent=2, default=_jsonify))
-        return path
+        payload = json.dumps(self.to_dict(), indent=2, default=_jsonify)
+        return atomic_write_text(path, payload)
 
     def column_values(self, column: str) -> list[object]:
         """Extract one column by name."""

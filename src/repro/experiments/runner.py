@@ -3,10 +3,17 @@
 Example::
 
     python -m repro.experiments.runner --experiments fig1a fig2 table2 --profile fast
-    python -m repro.experiments.runner --all --profile full --output results/
+    python -m repro.experiments.runner --all --profile full --output results/ --workers 4
+    python -m repro.experiments.runner --experiments fig4b --explain
+    python -m repro.experiments.runner --list
 
-Each experiment prints the rows the paper reports; ``--output`` additionally
-stores them as JSON for later inspection.
+Experiments run through the dependency-aware pipeline (:mod:`repro.pipeline`):
+``--workers N`` overlaps up to N whole tasks (experiments, model training) in
+worker processes, dependencies like ``table1`` before ``fig4b`` are graph
+edges, and completed artifacts are cached under ``cache_dir`` so a rerun is
+near-instant.  Results are bit-identical for any worker count and cache
+state.  Each experiment prints the rows the paper reports; ``--output``
+additionally stores them as JSON for later inspection.
 """
 
 from __future__ import annotations
@@ -27,9 +34,10 @@ from repro.experiments.reporting import ExperimentResult
 from repro.experiments.settings import ExperimentSettings
 from repro.experiments.table1_accuracy import run_table1
 from repro.experiments.table2_compression import run_table2
-from repro.experiments.workspace import ExperimentWorkspace
 
-#: Registry of all experiments keyed by their identifier.
+#: Registry of all experiments keyed by their identifier.  The pipeline's
+#: task graph (repro.pipeline.registry) wraps exactly these entry points;
+#: the dict is kept for direct, single-experiment use.
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig1a": run_fig1a,
     "fig1b": run_fig1b,
@@ -48,26 +56,28 @@ def run_experiments(
     names: Sequence[str],
     settings: ExperimentSettings | None = None,
     output_dir: "str | Path | None" = None,
+    *,
+    cache: bool | None = None,
+    cache_dir: "str | Path | None" = None,
 ) -> list[ExperimentResult]:
-    """Run the named experiments sharing a single workspace."""
-    unknown = [name for name in names if name not in EXPERIMENTS]
-    if unknown:
-        raise KeyError(f"unknown experiments {unknown}; available: {sorted(EXPERIMENTS)}")
-    workspace = ExperimentWorkspace.create(settings)
-    results: list[ExperimentResult] = []
-    table1_result: ExperimentResult | None = None
-    for name in names:
-        if name == "table1":
-            result = run_table1(workspace=workspace)
-            table1_result = result
-        elif name == "fig4b":
-            result = run_fig4b(workspace=workspace, table1=table1_result)
-        else:
-            result = EXPERIMENTS[name](workspace=workspace)
-        results.append(result)
-        if output_dir is not None:
-            result.save_json(Path(output_dir) / f"{name}.json")
-    return results
+    """Run the named experiments through the dependency-aware pipeline.
+
+    Dependencies are resolved as graph edges (requesting ``fig4b`` alone
+    runs — or loads from cache — ``table1`` first), ``settings.workers``
+    overlaps independent experiments, and artifacts are reused from the
+    cache when their inputs are unchanged.  Results come back in request
+    order, bit-identical to a fully serial run.
+    """
+    # Imported lazily: repro.pipeline imports the experiment modules, which
+    # import this package — a module-level import would be circular.
+    from repro.pipeline import run_pipeline
+
+    run = run_pipeline(
+        names, settings=settings, cache=cache, cache_dir=cache_dir, output_dir=output_dir
+    )
+    # One result per requested name, repeats included (matching the old
+    # sequential runner); repeated names resolve to the same result object.
+    return [run.results[name] for name in names]
 
 
 def _positive_int(text: str) -> int:
@@ -88,6 +98,37 @@ def _workers_arg(text: str) -> int:
     return value
 
 
+def _list_registry(settings: ExperimentSettings, use_cache: bool) -> str:
+    """Render the experiment registry with dependencies and cache status."""
+    from repro.pipeline import ArtifactCache, build_experiment_graph, compute_cache_keys
+    from repro.utils.tables import format_table
+
+    graph = build_experiment_graph(settings)
+    keys = compute_cache_keys(graph, settings)
+    cache = ArtifactCache.resolve(settings.cache_dir) if use_cache else None
+    rows = []
+    for task in graph.topological_order():
+        if cache is None:
+            status = "disabled"
+        elif not task.cacheable:
+            status = "uncached"
+        elif cache.contains(task, keys[task.name]):
+            status = "cached"
+        else:
+            status = "miss"
+        rows.append(
+            [
+                task.name,
+                task.kind,
+                ", ".join(task.depends) if task.depends else "-",
+                status,
+                keys[task.name][:12],
+            ]
+        )
+    title = "Experiment registry (cache: {})".format(cache.root if cache else "disabled")
+    return format_table(["task", "kind", "depends", "cache", "key"], rows, title=title)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -96,9 +137,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         nargs="+",
         default=None,
         choices=sorted(EXPERIMENTS),
-        help="experiments to run (default: all)",
+        help="experiments to run (default: all); dependencies are pulled in "
+        "automatically",
     )
     parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the experiment task registry (dependencies and cache "
+        "status for the chosen settings) and exit",
+    )
     parser.add_argument(
         "--profile", choices=("fast", "full"), default="fast", help="settings profile"
     )
@@ -108,14 +156,35 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--workers",
         type=_workers_arg,
         default=0,
-        help="worker processes for the parallel sweeps (0 = serial, -1 = all CPUs); "
-        "results are bit-identical for any value",
+        help="worker processes (0 = serial, -1 = all CPUs): whole experiments "
+        "and model trainings overlap across workers; single-task runs fan "
+        "their inner sweeps out instead; results are bit-identical for any "
+        "value",
     )
     parser.add_argument(
         "--chunk-size",
         type=_positive_int,
         default=None,
         help="work items per parallel dispatch chunk (default: auto)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the pipeline artifact cache (recompute everything and "
+        "persist nothing)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="cache location for trained models and pipeline artifacts "
+        "(default: REPRO_CACHE_DIR or ~/.cache/repro-aging-npu)",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the per-task pipeline report (cache hit/miss, where and "
+        "how long each task ran) after the results",
     )
     parser.add_argument(
         "--backend",
@@ -148,15 +217,26 @@ def main(argv: Sequence[str] | None = None) -> int:
         workers=arguments.workers,
         chunk_size=arguments.chunk_size,
         sim_backend=arguments.backend,
+        pipeline_cache=not arguments.no_cache,
     )
+    if arguments.cache_dir is not None:
+        overrides["cache_dir"] = arguments.cache_dir
     if arguments.lanes is not None:
         overrides["sim_batch_size"] = arguments.lanes
     settings = settings_factory(**overrides)
 
-    results = run_experiments(names, settings=settings, output_dir=arguments.output)
-    for result in results:
-        print(result.to_table())
+    if arguments.list:
+        print(_list_registry(settings, use_cache=not arguments.no_cache))
+        return 0
+
+    from repro.pipeline import run_pipeline
+
+    run = run_pipeline(names, settings=settings, output_dir=arguments.output)
+    for name in run.requested:
+        print(run.results[name].to_table())
         print()
+    if arguments.explain:
+        print(run.explain())
     return 0
 
 

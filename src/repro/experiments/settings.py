@@ -24,16 +24,25 @@ from repro.nn.zoo import FIG1B_NETWORKS, TABLE1_NETWORKS
 class ExperimentSettings:
     """All tunable knobs of the experiment harness."""
 
-    # Reproducibility.
+    # Reproducibility.  ``cache_dir`` hosts both the zoo's trained-weight
+    # cache and the pipeline artifact cache (``<cache_dir>/pipeline``);
+    # ``None`` falls back to REPRO_CACHE_DIR or ~/.cache/repro-aging-npu.
+    # ``pipeline_cache`` toggles reading/writing pipeline artifacts — cached
+    # results are bit-identical to recomputed ones by construction, so this
+    # too is a pure throughput knob (the runner's ``--no-cache`` clears it).
     seed: int = 0
     cache_dir: "str | Path | None" = None
+    pipeline_cache: bool = True
 
-    # Process-parallel sweep execution (repro.parallel).  ``workers=0`` runs
-    # every sweep serially in-process, ``N > 0`` fans sweep shards out over N
-    # worker processes and ``-1`` uses every usable CPU; ``chunk_size``
-    # batches work items per dispatch.  The seed-sharding contract makes
-    # results bit-identical for any workers/chunk_size combination, so these
-    # are pure throughput knobs.
+    # Parallel execution (repro.parallel + repro.pipeline).  ``workers=0``
+    # runs everything serially in-process; ``N > 0`` lets the experiment
+    # pipeline overlap up to N whole tasks (experiments, model training) in
+    # worker processes, and ``-1`` uses every usable CPU.  When only a
+    # single task chain executes, the same knob fans the task's *inner*
+    # sweeps out over N processes instead (the PR 2 behaviour);
+    # ``chunk_size`` batches sweep work items per dispatch.  The seed
+    # contracts make results bit-identical for any workers/chunk_size
+    # combination, so these are pure throughput knobs.
     workers: int = 0
     chunk_size: "int | None" = None
 

@@ -5,6 +5,12 @@ trained model zoo, the MAC unit with its aging-aware libraries and the
 device-to-system pipeline.  The workspace builds each of them once per
 settings object and caches them for the rest of the process (trained models
 are additionally cached on disk by the zoo).
+
+The experiment pipeline (:mod:`repro.pipeline`) models these products as
+explicit tasks; :meth:`ExperimentWorkspace.adopt` is the bridge — it injects
+task artifacts (``"dataset"``, ``"mac"``, ``"multiplier"``, ``"library_set"``,
+``"pipeline"``, ``"model:<name>"``) so the lazy properties return them
+instead of rebuilding.
 """
 
 from __future__ import annotations
@@ -35,9 +41,35 @@ class ExperimentWorkspace:
     _multiplier: ArithmeticUnit | None = field(default=None, repr=False)
     _library_set: AgingAwareLibrarySet | None = field(default=None, repr=False)
 
+    #: Product-artifact names understood by :meth:`adopt`, mapped to the
+    #: backing lazy-property fields.
+    PRODUCT_FIELDS = {
+        "dataset": "_dataset",
+        "mac": "_mac",
+        "multiplier": "_multiplier",
+        "library_set": "_library_set",
+        "pipeline": "_pipeline",
+    }
+
     @classmethod
     def create(cls, settings: ExperimentSettings | None = None) -> "ExperimentWorkspace":
         return cls(settings=settings or ExperimentSettings.fast())
+
+    def adopt(self, artifacts: "dict[str, object]") -> None:
+        """Inject pipeline task artifacts as prebuilt products (idempotent).
+
+        Already-built products are kept — two sources of the same product
+        are identical by the determinism contract, and keeping the first
+        preserves in-process object identity.  Unrecognised names (e.g.
+        upstream experiment results) are ignored.
+        """
+        for name, value in artifacts.items():
+            attribute = self.PRODUCT_FIELDS.get(name)
+            if attribute is not None:
+                if getattr(self, attribute) is None:
+                    setattr(self, attribute, value)
+            elif name.startswith("model:"):
+                self._models.setdefault(name.removeprefix("model:"), value)
 
     # ----------------------------------------------------------------- data
     @property

@@ -11,14 +11,22 @@ parallel.  This package provides the shared machinery the sweep front-ends
 * :class:`~repro.parallel.executor.ParallelExecutor` — a chunked
   process-pool ``map`` with a once-per-worker shared payload, ordered result
   merging and a graceful serial fallback (``workers=0`` or platforms that
-  cannot start worker processes),
+  cannot start worker processes), plus an incremental
+  :class:`~repro.parallel.executor.ExecutorSession` (submit/wait-any) that
+  the dependency-aware experiment scheduler (:mod:`repro.pipeline`)
+  dispatches ready tasks on,
 * :mod:`repro.parallel.seeding` — spawn-safe deterministic RNG built on
   :meth:`numpy.random.SeedSequence.spawn`: one independent child stream per
   work item, keyed only by the item's position in the sweep, so results are
   bit-identical for any worker count, chunk size or scheduling order.
 """
 
-from repro.parallel.executor import ParallelExecutor, resolve_workers, usable_cpu_count
+from repro.parallel.executor import (
+    ExecutorSession,
+    ParallelExecutor,
+    resolve_workers,
+    usable_cpu_count,
+)
 from repro.parallel.seeding import (
     root_seed_sequence,
     shard_sizes,
@@ -27,6 +35,7 @@ from repro.parallel.seeding import (
 )
 
 __all__ = [
+    "ExecutorSession",
     "ParallelExecutor",
     "resolve_workers",
     "usable_cpu_count",

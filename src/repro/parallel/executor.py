@@ -23,7 +23,7 @@ import os
 import pickle
 import warnings
 from collections.abc import Callable, Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from multiprocessing import get_context
 from typing import Any
 
@@ -68,6 +68,11 @@ def _run_chunk(chunk: list[Any]) -> list[Any]:
     return [_WORKER_TASK(item, _WORKER_PAYLOAD) for item in chunk]
 
 
+def _run_item(item: Any) -> Any:
+    assert _WORKER_TASK is not None, "worker used before initialization"
+    return _WORKER_TASK(item, _WORKER_PAYLOAD)
+
+
 class ParallelExecutor:
     """Maps a task function over work items across worker processes.
 
@@ -103,33 +108,8 @@ class ParallelExecutor:
         workers = min(self.workers, len(items))
         if workers <= 0:
             return self._map_serial(task, items, payload)
-        start_method = self._start_method()
-        # Forked workers inherit the task and payload by memory, so only the
-        # spawn family actually pickles the initargs — pre-checking under
-        # fork would serialize a possibly-large payload just to throw it
-        # away (and would needlessly reject closures that fork can share).
-        if start_method != "fork" and not self._is_picklable(task, payload):
-            warnings.warn(
-                "parallel sweep task or payload is not picklable; "
-                "falling back to serial execution",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            return self._map_serial(task, items, payload)
-        try:
-            pool = ProcessPoolExecutor(
-                max_workers=workers,
-                mp_context=get_context(start_method),
-                initializer=_initialize_worker,
-                initargs=(task, payload),
-            )
-        except (OSError, ValueError, NotImplementedError) as error:  # pragma: no cover
-            warnings.warn(
-                f"could not start worker processes ({error}); "
-                "falling back to serial execution",
-                RuntimeWarning,
-                stacklevel=2,
-            )
+        pool = self._start_pool(task, payload, workers)
+        if pool is None:
             return self._map_serial(task, items, payload)
         try:
             chunks = self._chunk(items, workers)
@@ -143,7 +123,57 @@ class ParallelExecutor:
         finally:
             pool.shutdown(wait=True)
 
+    # -------------------------------------------------------------- session
+    def session(self, task: TaskFunction, payload: Any = None) -> "ExecutorSession":
+        """Open an incremental submit/collect session for ``task``.
+
+        Unlike :meth:`map`, which needs the whole work list up front, a
+        session accepts items one at a time and hands back results as they
+        complete — the shape a dependency-aware scheduler needs, where a
+        finishing task unlocks new ready tasks.  The payload is still shipped
+        to each worker exactly once, and the same serial/pickling fallbacks
+        apply.  Use as a context manager so the worker pool is torn down.
+        """
+        return ExecutorSession(self, task, payload)
+
     # -------------------------------------------------------------- helpers
+    def _start_pool(
+        self, task: TaskFunction, payload: Any, workers: int
+    ) -> ProcessPoolExecutor | None:
+        """Build the worker pool, or return ``None`` to run serially.
+
+        One fallback policy for :meth:`map` and sessions alike, with a
+        ``RuntimeWarning`` naming the reason.  Forked workers inherit the
+        task and payload by memory, so only the spawn family actually
+        pickles the initargs — pre-checking under fork would serialize a
+        possibly-large payload just to throw it away (and would needlessly
+        reject closures that fork can share).
+        """
+        start_method = self._start_method()
+        if start_method != "fork" and not self._is_picklable(task, payload):
+            warnings.warn(
+                "task or payload is not picklable; "
+                "falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        try:
+            return ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=get_context(start_method),
+                initializer=_initialize_worker,
+                initargs=(task, payload),
+            )
+        except (OSError, ValueError, NotImplementedError) as error:  # pragma: no cover
+            warnings.warn(
+                f"could not start worker processes ({error}); "
+                "falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+
     @staticmethod
     def _map_serial(task: TaskFunction, items: list[Any], payload: Any) -> list[Any]:
         return [task(item, payload) for item in items]
@@ -169,3 +199,79 @@ class ParallelExecutor:
             return True
         except Exception:
             return False
+
+
+class ExecutorSession:
+    """Incremental submit/collect companion to :meth:`ParallelExecutor.map`.
+
+    ``submit`` hands one work item to the pool and returns a ticket;
+    ``wait_any`` blocks until *some* outstanding item finishes and returns
+    ``(ticket, result)``.  In serial mode (``workers=0``, unpicklable
+    task/payload under spawn, or a pool that cannot start) items run inline
+    at ``submit`` time — same items, same results, just no overlap — so
+    callers never need a separate code path.
+
+    Results are whatever the items determine: the session adds no ordering
+    guarantees beyond the tickets, which is exactly right for schedulers
+    whose tasks are deterministic functions of their inputs.
+    """
+
+    def __init__(self, executor: ParallelExecutor, task: TaskFunction, payload: Any = None) -> None:
+        self._task = task
+        self._payload = payload
+        self._pool: ProcessPoolExecutor | None = None
+        self._futures: dict[int, Future] = {}
+        self._completed: list[tuple[int, Any]] = []
+        self._next_ticket = 0
+        if executor.workers > 0:
+            self._pool = executor._start_pool(task, payload, executor.workers)
+
+    @property
+    def parallel(self) -> bool:
+        """Whether items actually run in worker processes."""
+        return self._pool is not None
+
+    def submit(self, item: Any) -> int:
+        """Queue one work item; returns a ticket for :meth:`wait_any`."""
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        if self._pool is None:
+            # Serial fallback: run now, collect via wait_any like any other.
+            self._completed.append((ticket, self._task(item, self._payload)))
+        else:
+            self._futures[ticket] = self._pool.submit(_run_item, item)
+        return ticket
+
+    def wait_any(self) -> tuple[int, Any]:
+        """Block until any outstanding item completes; returns (ticket, result).
+
+        Raises ``RuntimeError`` when nothing is outstanding, and re-raises
+        the task's exception if the item failed.
+        """
+        if self._completed:
+            return self._completed.pop(0)
+        if not self._futures:
+            raise RuntimeError("wait_any called with no outstanding work items")
+        done, _ = wait(self._futures.values(), return_when=FIRST_COMPLETED)
+        finished = done.pop()
+        for ticket, future in self._futures.items():
+            if future is finished:
+                del self._futures[ticket]
+                return ticket, future.result()
+        raise AssertionError("completed future not found in session")  # pragma: no cover
+
+    @property
+    def outstanding(self) -> int:
+        """Number of submitted items whose results were not collected yet."""
+        return len(self._futures) + len(self._completed)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ExecutorSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,40 @@
+"""Dependency-aware experiment pipeline with a content-addressed cache.
+
+The paper's results form a graph, not a list: Table 1 feeds Fig. 4b, the
+circuit sweeps (Fig. 1a / Fig. 2 / Table 2) are independent of the NN
+training that Table 1 and Fig. 1b need.  This package makes that graph
+explicit and executes it:
+
+* :mod:`repro.pipeline.task` / :mod:`repro.pipeline.graph` — the task-graph
+  layer: every experiment and every expensive workspace product (dataset,
+  zoo models, MAC, aging libraries) is a :class:`~repro.pipeline.task.Task`
+  with declared inputs,
+* :mod:`repro.pipeline.registry` — the concrete graph of the paper's tables
+  and figures (``build_experiment_graph``),
+* :mod:`repro.pipeline.cache` — the input-addressed artifact cache: a warm
+  rerun executes nothing, a settings change invalidates exactly the
+  affected subtree,
+* :mod:`repro.pipeline.scheduler` — topological dispatch of ready tasks
+  over the :mod:`repro.parallel` executor session (serial at ``workers=0``),
+  bit-identical to the sequential runner for any worker count.
+"""
+
+from repro.pipeline.cache import ArtifactCache, compute_cache_keys, default_cache_root
+from repro.pipeline.graph import TaskGraph
+from repro.pipeline.registry import EXPERIMENT_NAMES, build_experiment_graph
+from repro.pipeline.scheduler import PipelineRun, TaskRecord, run_pipeline
+from repro.pipeline.task import Task, TaskContext
+
+__all__ = [
+    "ArtifactCache",
+    "EXPERIMENT_NAMES",
+    "PipelineRun",
+    "Task",
+    "TaskContext",
+    "TaskGraph",
+    "TaskRecord",
+    "build_experiment_graph",
+    "compute_cache_keys",
+    "default_cache_root",
+    "run_pipeline",
+]

@@ -1,0 +1,139 @@
+"""Content-addressed artifact cache for the experiment pipeline.
+
+Every task's artifact is addressed by a key hashed from
+
+* the task name and version,
+* the repr of every :class:`ExperimentSettings` field the task declares it
+  reads, and
+* the cache keys of its dependencies (recursively, so a key fingerprints
+  the whole upstream input closure).
+
+Keys are therefore *input*-addressed, the way build-system action caches
+work: they are computable before anything runs, identical in every process,
+and a settings change invalidates exactly the subtree of tasks that
+(transitively) read the changed field.  Throughput-only knobs (``workers``,
+``chunk_size``, ``sim_backend``) are never part of any task's declared
+fields, so a cache stays warm across backend or worker-count changes —
+results are bit-identical by the determinism contract.  (``sim_batch_size``
+is *not* a throughput knob for the Monte-Carlo sweep: the samples-per-shard
+floor follows it, which changes the drawn streams, so fig1a declares it.)
+
+Layout under ``<cache_dir>/pipeline/``::
+
+    <task-name>/<key>.json        ExperimentResult artifacts
+    <task-name>/<key>.pkl         workspace-product artifacts (pickle)
+    <task-name>/<key>.meta.json   inputs that produced the key + content hash
+
+(the ``:`` of model task names is replaced with ``_`` in directory names).
+All writes are atomic, so a killed run never leaves a truncated artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.reporting import ExperimentResult, _jsonify
+from repro.experiments.settings import ExperimentSettings
+from repro.pipeline.graph import TaskGraph
+from repro.pipeline.task import JSON_FORMAT, Task
+from repro.utils.io import atomic_write_bytes, atomic_write_text
+
+#: Bumping this invalidates every cached artifact (schema-level changes).
+CACHE_SCHEMA_VERSION = 1
+
+
+def default_cache_root() -> Path:
+    """Default pipeline cache location (shared with the model zoo cache)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-aging-npu"
+
+
+def settings_fingerprint(settings: ExperimentSettings, fields: tuple[str, ...]) -> dict[str, str]:
+    """Stable ``{field: repr(value)}`` map of the declared settings fields."""
+    return {name: repr(getattr(settings, name)) for name in sorted(fields)}
+
+
+def compute_cache_keys(graph: TaskGraph, settings: ExperimentSettings) -> dict[str, str]:
+    """Cache key of every task in the graph, dependencies first."""
+    keys: dict[str, str] = {}
+    for task in graph.topological_order():
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "task": task.name,
+            "version": task.version,
+            "settings": settings_fingerprint(settings, task.settings_fields),
+            "depends": {dep: keys[dep] for dep in sorted(task.depends)},
+        }
+        blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+        keys[task.name] = hashlib.sha256(blob).hexdigest()
+    return keys
+
+
+class ArtifactCache:
+    """Persists task artifacts under ``root`` keyed by their cache key."""
+
+    def __init__(self, root: "str | Path") -> None:
+        self.root = Path(root)
+
+    @classmethod
+    def resolve(cls, cache_dir: "str | Path | None" = None) -> "ArtifactCache":
+        """Cache at ``cache_dir`` (or the REPRO_CACHE_DIR / ~/.cache default)."""
+        base = Path(cache_dir) if cache_dir is not None else default_cache_root()
+        return cls(base / "pipeline")
+
+    # ------------------------------------------------------------ locations
+    def _task_dir(self, task: Task) -> Path:
+        return self.root / task.name.replace(":", "_")
+
+    def artifact_path(self, task: Task, key: str) -> Path:
+        suffix = ".json" if task.serializer == JSON_FORMAT else ".pkl"
+        return self._task_dir(task) / f"{key}{suffix}"
+
+    def meta_path(self, task: Task, key: str) -> Path:
+        return self._task_dir(task) / f"{key}.meta.json"
+
+    # ------------------------------------------------------------- protocol
+    def contains(self, task: Task, key: str) -> bool:
+        return task.cacheable and self.artifact_path(task, key).exists()
+
+    def load(self, task: Task, key: str) -> Any:
+        """Deserialize the stored artifact (the caller checked ``contains``)."""
+        path = self.artifact_path(task, key)
+        if task.serializer == JSON_FORMAT:
+            data = json.loads(path.read_text())
+            return ExperimentResult(
+                experiment_id=data["experiment_id"],
+                title=data["title"],
+                columns=list(data["columns"]),
+                rows=[list(row) for row in data["rows"]],
+                metadata=data["metadata"],
+            )
+        with path.open("rb") as handle:
+            return pickle.load(handle)
+
+    def store(self, task: Task, key: str, artifact: Any) -> Path | None:
+        """Persist ``artifact`` (no-op for non-cacheable tasks)."""
+        if not task.cacheable:
+            return None
+        path = self.artifact_path(task, key)
+        if task.serializer == JSON_FORMAT:
+            blob = json.dumps(artifact.to_dict(), indent=2, default=_jsonify).encode("utf-8")
+        else:
+            blob = pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
+        atomic_write_bytes(path, blob)
+        meta = {
+            "task": task.name,
+            "key": key,
+            "format": task.serializer,
+            "content_sha256": hashlib.sha256(blob).hexdigest(),
+            "size_bytes": len(blob),
+        }
+        atomic_write_text(self.meta_path(task, key), json.dumps(meta, indent=2))
+        return path

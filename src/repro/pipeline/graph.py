@@ -1,0 +1,117 @@
+"""The experiment task graph: registration, closure and topological order.
+
+The graph is a plain name-keyed DAG.  Everything downstream (cache keys,
+scheduling, ``--explain`` output) relies on two properties enforced here:
+
+* **Deterministic order** — :meth:`TaskGraph.topological_order` is a stable
+  Kahn traversal that breaks ties by registration order, so every process
+  (parent or worker, any machine) derives the identical order from the same
+  settings.
+* **Light-before-heavy layering** — a light (inline) task may not depend on
+  a heavy (dispatched) one; this is what lets the scheduler run all light
+  tasks up front and ship their artifacts to the workers once, as the
+  executor-session payload.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.pipeline.task import Task
+
+
+class TaskGraph:
+    """A registry of :class:`Task` nodes with dependency edges."""
+
+    def __init__(self, tasks: Iterable[Task] = ()) -> None:
+        self._tasks: dict[str, Task] = {}
+        for task in tasks:
+            self.add(task)
+
+    # --------------------------------------------------------- registration
+    def add(self, task: Task) -> Task:
+        if task.name in self._tasks:
+            raise ValueError(f"duplicate task {task.name!r}")
+        self._tasks[task.name] = task
+        return task
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tasks
+
+    def __getitem__(self, name: str) -> Task:
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown task {name!r}; known: {sorted(self._tasks)}"
+            ) from None
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks.values())
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._tasks)
+
+    def experiments(self) -> tuple[Task, ...]:
+        from repro.pipeline.task import EXPERIMENT
+
+        return tuple(task for task in self if task.kind == EXPERIMENT)
+
+    # ----------------------------------------------------------- validation
+    def validate(self) -> None:
+        """Check edges resolve, the graph is acyclic and layering holds."""
+        for task in self:
+            for dep in task.depends:
+                if dep not in self._tasks:
+                    raise KeyError(f"task {task.name!r} depends on unknown task {dep!r}")
+                if not task.heavy and self._tasks[dep].heavy:
+                    raise ValueError(
+                        f"light task {task.name!r} may not depend on heavy task {dep!r}"
+                    )
+        self.topological_order()  # raises on cycles
+
+    # ------------------------------------------------------------- closures
+    def closure(self, names: Sequence[str]) -> set[str]:
+        """``names`` plus every transitive dependency."""
+        pending = list(names)
+        seen: set[str] = set()
+        while pending:
+            name = pending.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            pending.extend(self[name].depends)
+        return seen
+
+    def consumers(self, name: str) -> tuple[str, ...]:
+        """Direct dependents of ``name``, in registration order."""
+        return tuple(task.name for task in self if name in task.depends)
+
+    def topological_order(self, names: Sequence[str] | None = None) -> list[Task]:
+        """Dependencies-first order over ``names``'s closure (default: all).
+
+        Stable: ties are broken by registration order, so the result is a
+        pure function of the graph — identical in every process.
+        """
+        selected = self.closure(names) if names is not None else set(self._tasks)
+        remaining = {
+            name: {dep for dep in self._tasks[name].depends if dep in selected}
+            for name in self._tasks
+            if name in selected
+        }
+        order: list[Task] = []
+        while remaining:
+            ready = [name for name, deps in remaining.items() if not deps]
+            if not ready:
+                cycle = sorted(remaining)
+                raise ValueError(f"dependency cycle among tasks {cycle}")
+            for name in ready:
+                del remaining[name]
+                order.append(self._tasks[name])
+            for deps in remaining.values():
+                deps.difference_update(ready)
+        return order

@@ -1,0 +1,340 @@
+"""Dependency-aware scheduler with demand-driven caching.
+
+Given requested experiment names, the scheduler
+
+1. builds the task graph and computes every task's cache key (keys are
+   input-addressed, so they exist before anything runs),
+2. probes the artifact cache and prunes: a task executes only if some
+   requested result (transitively) needs it *and* its artifact is not
+   cached — so a warm rerun executes nothing at all, and a settings change
+   re-runs exactly the invalidated subtree,
+3. executes what remains: light tasks inline in the parent, heavy tasks
+   (experiments, model training) dispatched concurrently over an
+   :class:`~repro.parallel.executor.ExecutorSession` as their dependencies
+   complete.  With ``workers=0`` — or when the executable subgraph is a pure
+   chain, where overlap cannot help — everything runs inline against one
+   shared workspace, exactly like the old sequential runner.
+
+Determinism: every task derives its randomness from ``settings.seed`` and
+its input artifacts alone (see :mod:`repro.pipeline.task`), so results are
+bit-identical to the sequential runner for any worker count.  Worker-side
+sweeps run with ``workers=0`` to avoid oversubscription — also a pure
+throughput choice by the ``repro.parallel`` seed-sharding contract.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+from collections.abc import Sequence
+
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.settings import ExperimentSettings
+from repro.experiments.workspace import ExperimentWorkspace
+from repro.parallel import ParallelExecutor, resolve_workers
+from repro.pipeline.cache import ArtifactCache, compute_cache_keys
+from repro.pipeline.graph import TaskGraph
+from repro.pipeline.registry import build_experiment_graph
+from repro.pipeline.task import EXPERIMENT, Task, TaskContext
+from repro.utils.tables import format_table
+
+#: TaskRecord actions.
+EXECUTED = "executed"
+HIT = "hit"
+PRUNED = "pruned"
+
+
+@dataclass
+class TaskRecord:
+    """What happened to one task during a pipeline run."""
+
+    name: str
+    kind: str
+    action: str
+    where: str = "-"  # "inline" | "worker" | "cache" | "-"
+    key: str = ""
+    stored: bool = False
+    duration_s: float = 0.0
+    depends: tuple[str, ...] = ()
+
+
+@dataclass
+class PipelineRun:
+    """Results plus a per-task audit trail of one pipeline invocation."""
+
+    requested: tuple[str, ...]
+    results: dict[str, ExperimentResult]
+    records: dict[str, TaskRecord]
+    keys: dict[str, str]
+    cache_root: Path | None = None
+    order: tuple[str, ...] = ()
+
+    @property
+    def executed(self) -> tuple[str, ...]:
+        """Names of all tasks whose bodies ran, in topological order."""
+        return tuple(n for n in self.order if self.records[n].action == EXECUTED)
+
+    @property
+    def executed_experiments(self) -> tuple[str, ...]:
+        """Experiment bodies that actually ran (empty on a warm cache)."""
+        return tuple(
+            n for n in self.executed if self.records[n].kind == EXPERIMENT
+        )
+
+    @property
+    def cache_hits(self) -> tuple[str, ...]:
+        return tuple(n for n in self.order if self.records[n].action == HIT)
+
+    def results_list(self) -> list[ExperimentResult]:
+        """Results in deduplicated request order (one entry per unique name)."""
+        return [self.results[name] for name in self.requested]
+
+    def explain(self) -> str:
+        """Human-readable per-task hit/run/prune report (``--explain``)."""
+        rows = []
+        for name in self.order:
+            record = self.records[name]
+            rows.append(
+                [
+                    record.name,
+                    record.kind,
+                    record.action,
+                    record.where,
+                    f"{record.duration_s:.2f}s" if record.action == EXECUTED else "-",
+                    record.key[:12] if record.key else "-",
+                    ", ".join(record.depends) if record.depends else "-",
+                ]
+            )
+        title = f"Pipeline plan (cache: {self.cache_root if self.cache_root else 'disabled'})"
+        return format_table(
+            ["task", "kind", "action", "where", "time", "cache_key", "depends"],
+            rows,
+            title=title,
+        )
+
+
+# ----------------------------------------------------------------- worker
+def _execute_work_item(item: "tuple[str, dict[str, Any]]", payload: "tuple[ExperimentSettings, dict[str, Any]]") -> Any:
+    """Run one task body in a worker process.
+
+    The payload (shipped once per worker) carries the settings and every
+    artifact the parent knew at dispatch-session start; artifacts produced
+    later arrive per item.  The worker rebuilds the (deterministic) graph
+    from the settings to resolve the task body by name.
+    """
+    settings, base_artifacts = payload
+    name, extra_artifacts = item
+    graph = build_experiment_graph(settings)
+    task = graph[name]
+    artifacts = {
+        dep: extra_artifacts[dep] if dep in extra_artifacts else base_artifacts[dep]
+        for dep in task.depends
+    }
+    return task.run(TaskContext(settings, artifacts))
+
+
+# -------------------------------------------------------------- scheduler
+def _is_chain(tasks: Sequence[Task], names: set[str]) -> bool:
+    """True if the heavy tasks form a single dependency chain (no overlap).
+
+    Heavy-to-heavy edges are always direct (light tasks cannot depend on
+    heavy ones), so ancestor sets close over direct edges restricted to
+    ``names``.
+    """
+    ancestors: dict[str, set[str]] = {}
+    for task in tasks:  # topological order
+        mine: set[str] = set()
+        for dep in task.depends:
+            if dep in names:
+                mine.add(dep)
+                mine.update(ancestors[dep])
+        ancestors[task.name] = mine
+    for task in tasks:
+        for other in tasks:
+            if task.name == other.name:
+                continue
+            if task.name not in ancestors[other.name] and other.name not in ancestors[task.name]:
+                return False
+    return True
+
+
+def run_pipeline(
+    names: Sequence[str],
+    settings: ExperimentSettings | None = None,
+    *,
+    cache: bool | None = None,
+    cache_dir: "str | Path | None" = None,
+    output_dir: "str | Path | None" = None,
+    executor: ParallelExecutor | None = None,
+) -> PipelineRun:
+    """Run the named experiments through the dependency-aware pipeline.
+
+    Args:
+        names: experiment identifiers (see ``EXPERIMENT_NAMES``); transitive
+            dependencies (e.g. ``table1`` for ``fig4b``) are pulled in
+            automatically.
+        settings: experiment settings; ``settings.workers`` is the number of
+            concurrently executing tasks (0 = fully serial, as the old
+            sequential runner).
+        cache: overrides ``settings.pipeline_cache`` (None = use it).
+        cache_dir: overrides ``settings.cache_dir`` for the artifact cache.
+        output_dir: when given, each requested experiment's JSON is written
+            there *as soon as the result is available* (execution or cache
+            hit), so a crash later in the run loses no completed work.
+        executor: override the dispatch executor (defaults to one built from
+            ``settings.workers``).
+
+    Returns:
+        A :class:`PipelineRun` with the results and the per-task records.
+    """
+    settings = settings or ExperimentSettings.fast()
+    graph = build_experiment_graph(settings)
+    experiment_names = {task.name for task in graph.experiments()}
+    unknown = [name for name in names if name not in experiment_names]
+    if unknown:
+        raise KeyError(f"unknown experiments {unknown}; available: {sorted(experiment_names)}")
+    requested = tuple(dict.fromkeys(names))
+
+    keys = compute_cache_keys(graph, settings)
+    use_cache = settings.pipeline_cache if cache is None else cache
+    artifact_cache = ArtifactCache.resolve(
+        cache_dir if cache_dir is not None else settings.cache_dir
+    ) if use_cache else None
+
+    order = graph.topological_order(requested)
+    hit = {
+        task.name: artifact_cache is not None and artifact_cache.contains(task, keys[task.name])
+        for task in order
+    }
+
+    # Demand-driven pruning (consumers first): a task is needed if it is a
+    # target or feeds a task that will execute; it executes if needed and
+    # not already cached.
+    needed: set[str] = set(requested)
+    executes: dict[str, bool] = {}
+    for task in reversed(order):
+        executes[task.name] = task.name in needed and not hit[task.name]
+        if executes[task.name]:
+            needed.update(task.depends)
+
+    records = {
+        task.name: TaskRecord(
+            name=task.name,
+            kind=task.kind,
+            action=PRUNED,
+            key=keys[task.name],
+            depends=task.depends,
+        )
+        for task in order
+    }
+
+    artifacts: dict[str, Any] = {}
+
+    def _save_output(task: Task) -> None:
+        if output_dir is not None and task.name in requested:
+            artifacts[task.name].save_json(Path(output_dir) / f"{task.name}.json")
+
+    def _load(task: Task) -> None:
+        start = time.perf_counter()
+        artifacts[task.name] = artifact_cache.load(task, keys[task.name])
+        record = records[task.name]
+        record.action, record.where = HIT, "cache"
+        record.duration_s = time.perf_counter() - start
+        _save_output(task)
+
+    def _finish(task: Task, value: Any, where: str, start: float) -> None:
+        artifacts[task.name] = value
+        record = records[task.name]
+        record.action, record.where = EXECUTED, where
+        record.duration_s = time.perf_counter() - start
+        if artifact_cache is not None and task.cacheable:
+            artifact_cache.store(task, keys[task.name], value)
+            record.stored = True
+        _save_output(task)
+
+    for task in order:
+        if task.name in needed and hit[task.name]:
+            _load(task)
+
+    exec_order = [task for task in order if executes[task.name]]
+    heavy_exec = [task for task in exec_order if task.heavy]
+    workers = resolve_workers(settings.workers)
+    # One worker cannot overlap anything: stay inline so the task's inner
+    # sweeps keep the workers knob (the pre-pipeline behaviour).
+    overlap = (
+        workers > 1
+        and len(heavy_exec) > 1
+        and not _is_chain(heavy_exec, {task.name for task in heavy_exec})
+    )
+
+    if not overlap:
+        # Sequential path: one shared workspace, original settings — inner
+        # sweeps keep their workers, exactly like the PR 3 runner.
+        shared = ExperimentWorkspace.create(settings)
+        shared.adopt(artifacts)
+        for task in exec_order:
+            context = TaskContext(
+                settings,
+                {dep: artifacts[dep] for dep in task.depends},
+                workspace=shared,
+            )
+            start = time.perf_counter()
+            _finish(task, task.run(context), "inline", start)
+    else:
+        # Light tasks first, inline (they are closed under dependencies by
+        # the light-before-heavy layering rule)...
+        shared = ExperimentWorkspace.create(settings)
+        shared.adopt(artifacts)
+        for task in exec_order:
+            if task.heavy:
+                continue
+            context = TaskContext(
+                settings,
+                {dep: artifacts[dep] for dep in task.depends},
+                workspace=shared,
+            )
+            start = time.perf_counter()
+            _finish(task, task.run(context), "inline", start)
+        # ... then dispatch heavy tasks as their dependencies complete.  The
+        # session payload ships everything known now once per worker; later
+        # artifacts ride along with the items that need them.  Worker-side
+        # sweeps run serially (pure throughput choice; results identical).
+        worker_settings = settings.with_overrides(workers=0)
+        heavy_deps = {dep for task in heavy_exec for dep in task.depends}
+        base_artifacts = {
+            name: value for name, value in artifacts.items() if name in heavy_deps
+        }
+        executor = executor or ParallelExecutor(workers=settings.workers)
+        tickets: dict[int, tuple[Task, float]] = {}
+        pending = {task.name: task for task in heavy_exec}
+        dispatched: set[str] = set()
+        with executor.session(_execute_work_item, (worker_settings, base_artifacts)) as session:
+            where = "worker" if session.parallel else "inline"
+            while pending:
+                for name in list(pending):
+                    task = pending[name]
+                    if name in dispatched or any(dep not in artifacts for dep in task.depends):
+                        continue
+                    extra = {
+                        dep: artifacts[dep]
+                        for dep in task.depends
+                        if dep not in base_artifacts
+                    }
+                    tickets[session.submit((name, extra))] = (task, time.perf_counter())
+                    dispatched.add(name)
+                ticket, value = session.wait_any()
+                task, start = tickets.pop(ticket)
+                del pending[task.name]
+                _finish(task, value, where, start)
+
+    results = {name: artifacts[name] for name in requested}
+    return PipelineRun(
+        requested=requested,
+        results=results,
+        records=records,
+        keys=keys,
+        cache_root=artifact_cache.root if artifact_cache is not None else None,
+        order=tuple(task.name for task in order),
+    )

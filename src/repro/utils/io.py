@@ -1,0 +1,44 @@
+"""Filesystem helpers: atomic writes for results and cache artifacts.
+
+A half-written JSON result (interrupted run, two concurrent writers) is worse
+than no result at all — every consumer of ``--output`` files and of the
+pipeline artifact cache assumes a file that exists parses.  These helpers
+write through a temporary sibling file and :func:`os.replace` it into place,
+which is atomic on POSIX and Windows, so readers only ever observe either the
+previous complete file or the new complete file.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_bytes(path: "str | Path", data: bytes) -> Path:
+    """Atomically write ``data`` to ``path`` (temp sibling + ``os.replace``).
+
+    Parent directories are created as needed.  On any failure the temporary
+    file is removed and ``path`` is left untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, temp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(data)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path: "str | Path", text: str, encoding: str = "utf-8") -> Path:
+    """Atomically write ``text`` to ``path`` (see :func:`atomic_write_bytes`)."""
+    return atomic_write_bytes(path, text.encode(encoding))

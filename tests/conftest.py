@@ -19,6 +19,25 @@ from repro.nn.model import Model
 from repro.nn.training import SGDTrainer
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_cache_dir(tmp_path_factory):
+    """Point REPRO_CACHE_DIR at a per-session temp directory.
+
+    The pipeline artifact cache (and the zoo weight cache) default to
+    ~/.cache; tests must neither read stale artifacts from nor leak
+    artifacts into the developer's real cache.
+    """
+    import os
+
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:  # pragma: no cover - depends on the developer's environment
+        os.environ["REPRO_CACHE_DIR"] = previous
+
+
 @pytest.fixture(scope="session")
 def library_set() -> AgingAwareLibrarySet:
     return AgingAwareLibrarySet.generate((0.0, 10.0, 20.0, 30.0, 40.0, 50.0))

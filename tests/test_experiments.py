@@ -58,6 +58,40 @@ class TestReporting:
         assert data["rows"] == [[1.5]]
         assert data["metadata"] == {"k": 2}
 
+    def test_save_json_creates_parent_directories(self, tmp_path):
+        result = ExperimentResult("demo", "Demo", ["a"], [[1]])
+        path = result.save_json(tmp_path / "out" / "nested" / "demo.json")
+        assert path.exists() and path.parent.name == "nested"
+
+    def test_interrupted_serialization_never_truncates(self, tmp_path):
+        """A failing write must leave the previous JSON intact, not a stub."""
+
+        class Unserializable:
+            def __str__(self):
+                raise RuntimeError("boom mid-serialization")
+
+        path = tmp_path / "demo.json"
+        ExperimentResult("demo", "Demo", ["a"], [[1]]).save_json(path)
+        original = path.read_text()
+        bad = ExperimentResult("demo", "Demo", ["a"], [[Unserializable()]])
+        with pytest.raises(RuntimeError, match="boom"):
+            bad.save_json(path)
+        assert path.read_text() == original
+        assert list(path.parent.iterdir()) == [path]  # no temp leftovers
+
+    def test_interrupted_replace_cleans_up_temp_file(self, tmp_path, monkeypatch):
+        """Dying between temp write and rename leaves no debris behind."""
+        import os as os_module
+
+        def failing_replace(src, dst):
+            raise OSError("interrupted")
+
+        monkeypatch.setattr(os_module, "replace", failing_replace)
+        path = tmp_path / "demo.json"
+        with pytest.raises(OSError, match="interrupted"):
+            ExperimentResult("demo", "Demo", ["a"], [[1]]).save_json(path)
+        assert list(tmp_path.iterdir()) == []
+
 
 class TestSettings:
     def test_profiles(self):
@@ -130,6 +164,97 @@ class TestHardwareSideExperiments:
         assert means[1] == pytest.approx(3.0)
 
 
+class TestWorkspaceProductCaching:
+    """Each lazy product builds exactly once; seeds never share artifacts."""
+
+    def test_each_product_builds_exactly_once_per_settings_object(self, monkeypatch):
+        import repro.experiments.workspace as workspace_module
+
+        calls = {"dataset": 0, "mac": 0, "libraries": 0, "model": 0}
+        real_generate = workspace_module.SyntheticImageDataset.generate
+
+        def counting_generate(*args, **kwargs):
+            calls["dataset"] += 1
+            return real_generate(*args, **kwargs)
+
+        real_build_mac = workspace_module.build_mac
+        real_libraries = workspace_module.AgingAwareLibrarySet.generate
+
+        def counting_libraries(*args, **kwargs):
+            calls["libraries"] += 1
+            return real_libraries(*args, **kwargs)
+
+        monkeypatch.setattr(
+            workspace_module.SyntheticImageDataset, "generate", counting_generate
+        )
+        monkeypatch.setattr(
+            workspace_module, "build_mac",
+            lambda *a, **k: (calls.__setitem__("mac", calls["mac"] + 1), real_build_mac(*a, **k))[1],
+        )
+        monkeypatch.setattr(
+            workspace_module.AgingAwareLibrarySet, "generate", counting_libraries
+        )
+        monkeypatch.setattr(
+            workspace_module, "get_pretrained",
+            lambda name, dataset, **k: (calls.__setitem__("model", calls["model"] + 1), object())[1],
+        )
+
+        settings = ExperimentSettings.fast(
+            num_classes=3, image_size=8, train_per_class=4, test_per_class=2
+        )
+        workspace = ExperimentWorkspace.create(settings)
+        _ = (workspace.dataset, workspace.dataset, workspace.calibration, workspace.test_inputs)
+        assert calls["dataset"] == 1
+        _ = (workspace.mac, workspace.mac, workspace.multiplier)
+        assert calls["mac"] == 1
+        _ = (workspace.library_set, workspace.pipeline, workspace.pipeline)
+        assert calls["libraries"] == 1
+        first = workspace.model("squeezenet")
+        assert workspace.model("squeezenet") is first
+        assert calls["model"] == 1
+
+    def test_adopted_products_short_circuit_the_builders(self, monkeypatch):
+        import repro.experiments.workspace as workspace_module
+
+        def exploding_generate(*args, **kwargs):
+            raise AssertionError("adopted dataset must not be rebuilt")
+
+        monkeypatch.setattr(
+            workspace_module.SyntheticImageDataset, "generate", exploding_generate
+        )
+        workspace = ExperimentWorkspace.create(ExperimentSettings.fast())
+        sentinel_dataset = object()
+        sentinel_model = object()
+        workspace.adopt({"dataset": sentinel_dataset, "model:vgg16": sentinel_model, "table1": "ignored"})
+        assert workspace.dataset is sentinel_dataset
+        assert workspace.model("vgg16") is sentinel_model
+        # Adoption is idempotent and never clobbers an existing product.
+        workspace.adopt({"dataset": object()})
+        assert workspace.dataset is sentinel_dataset
+
+    def test_different_seeds_never_share_artifacts(self, tmp_path):
+        settings = ExperimentSettings.fast(
+            num_classes=3,
+            image_size=8,
+            train_per_class=6,
+            test_per_class=3,
+            training_epochs=1,
+            training_batch_size=4,
+            cache_dir=tmp_path,
+        )
+        first = ExperimentWorkspace.create(settings)
+        second = ExperimentWorkspace.create(settings.with_overrides(seed=1))
+        assert not np.array_equal(first.dataset.x_train, second.dataset.x_train)
+        model_a = first.model("resnet20")
+        model_b = second.model("resnet20")
+        assert model_a is not model_b
+        state_a = model_a.model.state_dict()
+        state_b = model_b.model.state_dict()
+        assert any(
+            not np.array_equal(state_a[name], state_b[name]) for name in state_a
+        )
+
+
 class TestRunner:
     def test_registry_covers_all_paper_artifacts(self):
         assert {
@@ -146,6 +271,12 @@ class TestRunner:
         results = run_experiments(["table2"], settings=settings, output_dir=tmp_path)
         assert (tmp_path / "table2.json").exists()
         assert results[0].experiment_id == "table2"
+
+    def test_runner_returns_one_result_per_requested_name(self, tmp_path):
+        settings = ExperimentSettings.fast(max_alpha=3, max_beta=3, cache_dir=tmp_path)
+        results = run_experiments(["fig2", "table2", "fig2"], settings=settings)
+        assert [r.experiment_id for r in results] == ["fig2", "table2", "fig2"]
+        assert results[0] is results[2]  # repeats resolve to the same object
 
     def test_cli_main(self, tmp_path, capsys):
         exit_code = main(["--experiments", "fig4a", "--profile", "fast", "--output", str(tmp_path)])
@@ -185,3 +316,65 @@ class TestRunner:
         )
         assert exit_code == 0
         assert "Fig. 2" in capsys.readouterr().out
+
+    def test_fig4b_alone_pulls_table1_through_the_graph(self, tmp_path):
+        """Regression: the old runner silently passed table1=None here."""
+        settings = ExperimentSettings.fast(
+            train_per_class=8,
+            test_per_class=4,
+            training_epochs=1,
+            training_batch_size=8,
+            test_subset=8,
+            calibration_samples=8,
+            table1_networks=("squeezenet",),
+            aging_levels_mv=(0.0, 50.0),
+            max_alpha=3,
+            max_beta=3,
+            cache_dir=tmp_path,
+        )
+        results = run_experiments(["fig4b"], settings=settings, output_dir=tmp_path / "out")
+        assert [r.experiment_id for r in results] == ["fig4b"]
+        # One box-plot row per aged level, aggregated from the real table1.
+        assert results[0].column_values("delta_vth_mv") == [50.0]
+        assert (tmp_path / "out" / "fig4b.json").exists()
+        # table1 was cached along the way: rerunning it is a pure cache hit.
+        from repro.pipeline import run_pipeline
+
+        warm = run_pipeline(["table1"], settings)
+        assert warm.executed_experiments == ()
+
+    def test_cli_list_prints_registry_with_dependencies(self, tmp_path, capsys):
+        exit_code = main(["--list", "--cache-dir", str(tmp_path)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Experiment registry" in out
+        assert "fig4b" in out and "table1" in out
+        assert "depends" in out and "miss" in out
+        # --list must not have run anything.
+        assert "Fig. 2" not in out
+
+    def test_cli_explain_reports_cache_actions(self, tmp_path, capsys):
+        argv = ["--experiments", "fig2", "--cache-dir", str(tmp_path), "--explain"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "Pipeline plan" in first and "executed" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "hit" in second
+
+    def test_cli_no_cache_disables_the_artifact_cache(self, tmp_path, capsys):
+        argv = [
+            "--experiments", "fig2", "--cache-dir", str(tmp_path),
+            "--no-cache", "--explain",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cache: disabled" in out
+        assert not any(tmp_path.iterdir())
+
+    @pytest.mark.parametrize("argv", [["--cache-dir"], ["--experiments", "fig99"]])
+    def test_cli_rejects_bad_pipeline_args(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        assert "error" in capsys.readouterr().err
