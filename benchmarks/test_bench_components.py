@@ -77,7 +77,7 @@ def test_bench_batched_error_sweep_speedup(benchmark, bench_workspace, mac_unit)
     def batched():
         return characterize_timing_errors(
             mac_unit, library, period, num_samples=batch_samples, rng=0,
-            arrival_model="settle", engine="batch",
+            arrival_model="settle", backend="batch",
         )
 
     stats = benchmark.pedantic(batched, rounds=1, iterations=1)
@@ -87,7 +87,7 @@ def test_bench_batched_error_sweep_speedup(benchmark, bench_workspace, mac_unit)
     start = time.perf_counter()
     characterize_timing_errors(
         mac_unit, library, period, num_samples=scalar_samples, rng=0,
-        arrival_model="settle", engine="scalar",
+        arrival_model="settle", backend="scalar",
     )
     scalar_elapsed = time.perf_counter() - start
 

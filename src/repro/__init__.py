@@ -22,7 +22,18 @@ Quickstart::
         print(plan.delta_vth_mv, plan.compression.label(), plan.normalized_compensated_delay)
 """
 
-from repro.aging import AgingAwareLibrarySet, AgingScenario, AlphaPowerDelayModel, BTIModel
+from repro.aging import (
+    AgingAwareLibrarySet,
+    AgingScenario,
+    AgingScenarioSet,
+    AgingTimeline,
+    AlphaPowerDelayModel,
+    BTIModel,
+    MissionProfile,
+    PerCellTypeAging,
+    UniformAging,
+    VariationAging,
+)
 from repro.circuits import build_adder, build_mac, build_multiplier
 from repro.core import (
     AgingAwareQuantizationResult,
@@ -51,8 +62,14 @@ __version__ = "1.0.0"
 __all__ = [
     "AgingAwareLibrarySet",
     "AgingScenario",
+    "AgingScenarioSet",
+    "AgingTimeline",
     "AlphaPowerDelayModel",
     "BTIModel",
+    "MissionProfile",
+    "PerCellTypeAging",
+    "UniformAging",
+    "VariationAging",
     "build_adder",
     "build_mac",
     "build_multiplier",

@@ -125,12 +125,14 @@ class BTIModel:
 
 
 @dataclass(frozen=True)
-class AgingScenario:
+class AgingTimeline:
     """A sequence of aging levels at which the NPU is (re-)quantized.
 
     The paper sweeps ΔVth from 0 (fresh) to 50 mV (10 years) in 10 mV steps.
-    A scenario couples those levels with the BTI model so experiments can
-    also report the corresponding calendar age.
+    A timeline couples those levels with the BTI model so experiments can
+    also report the corresponding calendar age.  (This class was named
+    ``AgingScenario`` before the per-gate :mod:`repro.aging.scenarios` API
+    claimed that name for the delay-table contract.)
     """
 
     levels_mv: tuple[float, ...] = STANDARD_DELTA_VTH_LEVELS_MV

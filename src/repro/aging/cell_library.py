@@ -246,6 +246,28 @@ class AgingAwareLibrarySet:
         """Convenience accessor for the delay degradation at a level."""
         return self.library(delta_vth_mv).delay_degradation_factor
 
+    # -------------------------------------------------------------- scenarios
+    def scenario(self, delta_vth_mv: float):
+        """The :class:`~repro.aging.scenarios.UniformAging` view of one level.
+
+        Bound to this set's fresh library, so the scenario resolves the
+        bit-identical per-gate delay table :meth:`library` would yield.
+        """
+        from repro.aging.scenarios.uniform import UniformAging
+
+        return UniformAging(float(delta_vth_mv), library=self._base)
+
+    def scenarios(self):
+        """This set as a scenario axis: one uniform scenario per level.
+
+        The generalisation bridge to :class:`~repro.aging.scenarios.
+        AgingScenarioSet` — an aging-aware library set *is* the uniform
+        special case of a scenario sweep.
+        """
+        from repro.aging.scenarios.base import AgingScenarioSet
+
+        return AgingScenarioSet.from_library_set(self)
+
     def __iter__(self):
         return iter(sorted(self._libraries.items()))
 

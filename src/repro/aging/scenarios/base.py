@@ -1,0 +1,222 @@
+"""The :class:`AgingScenario` contract and the scenario axis.
+
+An aging scenario answers one question for the timing substrate: *given a
+netlist, how slow is each gate?*  The uniform-ΔVth contract the paper uses
+(one scalar shift applied to the whole library) is just the simplest answer;
+mission profiles (years × temperature × duty cycle through the BTI
+kinetics), heterogeneous per-cell-type stress and seeded per-gate variation
+are all expressible once consumers stop asking a :class:`~repro.aging.
+cell_library.CellLibrary` for ``delay_ps(cell, fanout)`` and instead consume
+a scenario-resolved **per-gate delay table**.
+
+Contract
+--------
+
+* :meth:`AgingScenario.gate_delays_ps` resolves the scenario against a
+  netlist (and a fresh base library) into ``{gate: delay_ps}``.  Resolution
+  must be a pure function of the scenario's fields and the netlist
+  *structure* — deterministic by topological gate index, independent of
+  process boundaries, worker counts or evaluation order, so a scenario can
+  be pickled into sweep workers and resolve bit-identically everywhere.
+* :meth:`AgingScenario.key_fields` returns the stable, JSON-serialisable
+  fields that identify the scenario for experiment metadata and the
+  pipeline artifact cache (:meth:`cache_token` is their canonical string).
+* :attr:`AgingScenario.nominal_delta_vth_mv` is the headline ΔVth the
+  scenario corresponds to — what sweep statistics report as their level.
+
+Every timing consumer (:class:`~repro.timing.sta.StaticTimingAnalyzer`, the
+event-driven simulator, and all registered simulation backends) accepts
+either a plain :class:`CellLibrary` (the legacy uniform contract, kept
+bit-identical) or an :class:`AgingScenario`; :func:`resolve_gate_delays` is
+the single funnel that turns either into the per-gate table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from abc import ABC, abstractmethod
+from functools import lru_cache
+from typing import TYPE_CHECKING, ClassVar
+
+from repro.aging.cell_library import AgingAwareLibrarySet, CellLibrary, fresh_library
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.circuits.netlist import Gate, Netlist
+
+
+@lru_cache(maxsize=1)
+def default_fresh_library() -> CellLibrary:
+    """The shared default fresh library scenarios resolve against.
+
+    Built once per process; the characterisation is a pure function of the
+    default cell data, so every process resolves identical delays.
+    """
+    return fresh_library()
+
+
+class AgingScenario(ABC):
+    """Per-gate aging contract: resolve to a delay table for a netlist."""
+
+    #: Registry-style identifier of the scenario family (``"uniform"``,
+    #: ``"mission"``, ``"per_cell_type"``, ``"variation"``).
+    kind: ClassVar[str] = ""
+
+    @abstractmethod
+    def gate_delays_ps(
+        self, netlist: "Netlist", library: CellLibrary | None = None
+    ) -> "dict[Gate, float]":
+        """Resolve the scenario into a per-gate delay table for ``netlist``.
+
+        Args:
+            netlist: the circuit whose gates are degraded.
+            library: fresh characterisation to resolve against; defaults to
+                the scenario's bound library or :func:`default_fresh_library`.
+        """
+
+    @abstractmethod
+    def key_fields(self) -> dict[str, object]:
+        """Stable, JSON-serialisable fields identifying this scenario.
+
+        These participate in experiment metadata and pipeline cache keys, so
+        two scenarios with equal key fields must resolve to identical delay
+        tables for every netlist.
+        """
+
+    @property
+    @abstractmethod
+    def nominal_delta_vth_mv(self) -> float:
+        """The headline ΔVth (mV) sweep statistics report for this scenario."""
+
+    # ------------------------------------------------------------- utilities
+    def cache_token(self) -> str:
+        """Canonical string of :meth:`key_fields` for cache keys and reprs."""
+        return json.dumps(self.key_fields(), sort_keys=True)
+
+    def label(self) -> str:
+        """Short human-readable description (tables, CLI output)."""
+        return f"{self.kind}@{self.nominal_delta_vth_mv:g}mV"
+
+    def base_library(self, library: CellLibrary | None = None) -> CellLibrary:
+        """The fresh library to resolve against (argument > bound > default)."""
+        if library is not None:
+            return library
+        bound = getattr(self, "library", None)
+        if bound is not None:
+            return bound
+        return default_fresh_library()
+
+    def bound_to(self, library: CellLibrary) -> "AgingScenario":
+        """A copy bound to ``library`` (no-op if already bound).
+
+        Concrete scenarios are frozen dataclasses with an optional
+        ``library`` field, so binding is a :func:`dataclasses.replace`.
+        """
+        if getattr(self, "library", None) is not None:
+            return self
+        return dataclasses.replace(self, library=library)  # type: ignore[call-arg]
+
+
+def resolve_gate_delays(
+    netlist: "Netlist",
+    source: "CellLibrary | AgingScenario",
+    library: CellLibrary | None = None,
+) -> "dict[Gate, float]":
+    """Per-gate delay table of a delay source for ``netlist``.
+
+    The single funnel every timing engine builds its delays through:
+
+    * a :class:`CellLibrary` (the legacy uniform contract) maps each gate to
+      ``source.delay_ps(cell, fanout)`` — exactly the table the engines used
+      to build inline, so existing behaviour is bit-identical;
+    * an :class:`AgingScenario` resolves against ``library`` (or its bound /
+      the default fresh library).
+    """
+    if isinstance(source, AgingScenario):
+        return source.gate_delays_ps(netlist, library)
+    if not isinstance(source, CellLibrary):
+        raise TypeError(
+            f"expected a CellLibrary or AgingScenario delay source, got {type(source).__name__}"
+        )
+    return {
+        gate: source.delay_ps(gate.cell_name, fanout=gate.output.fanout)
+        for gate in netlist.topological_gates()
+    }
+
+
+def nominal_delta_vth_mv(source: "CellLibrary | AgingScenario") -> float:
+    """Headline ΔVth of a delay source (library level or scenario nominal)."""
+    if isinstance(source, AgingScenario):
+        return source.nominal_delta_vth_mv
+    return source.delta_vth_mv
+
+
+class AgingScenarioSet:
+    """A scenario axis: one fresh base library plus one scenario per point.
+
+    This generalises :class:`~repro.aging.cell_library.AgingAwareLibrarySet`
+    (one aged library per ΔVth level — i.e. a uniform scenario per level)
+    into an arbitrary sweep axis: mission-profile timelines, heterogeneous
+    stress corners and per-gate variation seeds are all just sequences of
+    :class:`AgingScenario` objects sharing one fresh characterisation.
+    """
+
+    def __init__(
+        self,
+        scenarios: "tuple[AgingScenario, ...] | list[AgingScenario]",
+        library: CellLibrary | None = None,
+    ) -> None:
+        entries = tuple(scenarios)
+        if not entries:
+            raise ValueError("an AgingScenarioSet needs at least one scenario")
+        for scenario in entries:
+            if not isinstance(scenario, AgingScenario):
+                raise TypeError(f"not an AgingScenario: {scenario!r}")
+        self._library = library if library is not None else default_fresh_library()
+        if not self._library.is_fresh:
+            raise ValueError("the base library of a scenario set must be fresh (0 mV)")
+        self._scenarios = tuple(s.bound_to(self._library) for s in entries)
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def uniform(
+        cls,
+        levels_mv: "tuple[float, ...] | list[float]",
+        library: CellLibrary | None = None,
+    ) -> "AgingScenarioSet":
+        """The paper's axis: one uniform scenario per ΔVth level."""
+        from repro.aging.scenarios.uniform import UniformAging
+
+        return cls(tuple(UniformAging(float(level)) for level in levels_mv), library)
+
+    @classmethod
+    def from_library_set(cls, library_set: AgingAwareLibrarySet) -> "AgingScenarioSet":
+        """The uniform axis equivalent to an aging-aware library set."""
+        return cls.uniform(library_set.levels_mv, library_set.fresh)
+
+    # -------------------------------------------------------------- accessors
+    @property
+    def fresh(self) -> CellLibrary:
+        """The shared fresh base library (also the sweep's clock reference)."""
+        return self._library
+
+    @property
+    def scenarios(self) -> "tuple[AgingScenario, ...]":
+        return self._scenarios
+
+    def gate_delays_ps(self, index: int, netlist: "Netlist") -> "dict[Gate, float]":
+        """Resolve the ``index``-th scenario for ``netlist``."""
+        return self._scenarios[index].gate_delays_ps(netlist, self._library)
+
+    def __iter__(self):
+        return iter(self._scenarios)
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    def __getitem__(self, index: int) -> AgingScenario:
+        return self._scenarios[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        labels = ", ".join(scenario.label() for scenario in self._scenarios)
+        return f"AgingScenarioSet([{labels}])"

@@ -1,0 +1,148 @@
+"""Uniform and mission-profile aging scenarios.
+
+:class:`UniformAging` is the paper's baseline contract — every cell of the
+library shifted by one scalar ΔVth — expressed as a scenario.  It resolves
+through :meth:`CellLibrary.aged`, so its per-gate delay table is
+**bit-identical** to what the timing engines historically built from
+``library.aged(x).delay_ps(cell, fanout)`` (property-tested per backend ×
+arrival model in ``tests/test_scenarios.py``).
+
+:class:`MissionProfile` asks for aging in operator vocabulary — "7 years at
+85 °C, 80 % duty cycle" — and drives the BTI kinetics of
+:class:`~repro.aging.bti.BTIModel` to translate the mission into the
+equivalent uniform ΔVth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.aging.bti import BTIModel
+from repro.aging.cell_library import CellLibrary
+from repro.aging.scenarios.base import AgingScenario, resolve_gate_delays
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.circuits.netlist import Gate, Netlist
+
+#: 0 °C in kelvin, for the mission profile's temperature conversion.
+CELSIUS_OFFSET_K = 273.15
+
+
+def _uniform_gate_delays(
+    base: CellLibrary, delta_vth_mv: float, netlist: "Netlist"
+) -> "dict[Gate, float]":
+    """Per-gate table of ``base`` degraded uniformly to ``delta_vth_mv``."""
+    aged = base if base.delta_vth_mv == delta_vth_mv else base.aged(delta_vth_mv)
+    return resolve_gate_delays(netlist, aged)
+
+
+@dataclass(frozen=True)
+class UniformAging(AgingScenario):
+    """The paper's baseline: one scalar ΔVth applied to the whole library.
+
+    Attributes:
+        delta_vth_mv: the uniform threshold-voltage shift (mV).
+        library: optional bound fresh library (default: the shared fresh
+            characterisation); excluded from equality and cache keys.
+    """
+
+    kind = "uniform"
+
+    delta_vth_mv: float = 0.0
+    library: CellLibrary | None = field(
+        default=None, compare=False, repr=False, hash=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.delta_vth_mv < 0:
+            raise ValueError("delta_vth_mv must be non-negative")
+
+    def gate_delays_ps(
+        self, netlist: "Netlist", library: CellLibrary | None = None
+    ) -> "dict[Gate, float]":
+        return _uniform_gate_delays(self.base_library(library), self.delta_vth_mv, netlist)
+
+    def key_fields(self) -> dict[str, object]:
+        return {"kind": self.kind, "delta_vth_mv": float(self.delta_vth_mv)}
+
+    @property
+    def nominal_delta_vth_mv(self) -> float:
+        return float(self.delta_vth_mv)
+
+
+@dataclass(frozen=True)
+class MissionProfile(AgingScenario):
+    """Aging after a mission: years of operation at a temperature/duty point.
+
+    The BTI kinetics translate the mission into the equivalent uniform ΔVth,
+    so users ask for "7 years at 85 °C" instead of raw millivolts.
+
+    Attributes:
+        years: operation time in years (0 = fresh).
+        temperature_c: operating temperature in °C.
+        duty_cycle: stress duty cycle in (0, 1].
+        bti: the BTI kinetics model (defaults to the paper's calibration:
+            50 mV after 10 years of continuous stress at 85 °C).
+        library: optional bound fresh library; excluded from keys.
+    """
+
+    kind = "mission"
+
+    years: float = 0.0
+    temperature_c: float = 85.0
+    duty_cycle: float = 1.0
+    bti: BTIModel = field(default_factory=BTIModel, hash=False)
+    library: CellLibrary | None = field(
+        default=None, compare=False, repr=False, hash=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.years < 0:
+            raise ValueError("years must be non-negative")
+        # Delegate the operating-point validation (and the ΔVth computation
+        # itself) to the kinetics model so the two can never disagree.
+        self.bti.delta_vth_mv(
+            self.years, temperature_k=self.temperature_k, duty_cycle=self.duty_cycle
+        )
+
+    @property
+    def temperature_k(self) -> float:
+        return self.temperature_c + CELSIUS_OFFSET_K
+
+    @property
+    def nominal_delta_vth_mv(self) -> float:
+        """The mission's equivalent uniform ΔVth from the BTI kinetics."""
+        return self.bti.delta_vth_mv(
+            self.years, temperature_k=self.temperature_k, duty_cycle=self.duty_cycle
+        )
+
+    def gate_delays_ps(
+        self, netlist: "Netlist", library: CellLibrary | None = None
+    ) -> "dict[Gate, float]":
+        return _uniform_gate_delays(
+            self.base_library(library), self.nominal_delta_vth_mv, netlist
+        )
+
+    def key_fields(self) -> dict[str, object]:
+        return {
+            "kind": self.kind,
+            "years": float(self.years),
+            "temperature_c": float(self.temperature_c),
+            "duty_cycle": float(self.duty_cycle),
+            "bti": {
+                "time_exponent": self.bti.time_exponent,
+                "duty_exponent": self.bti.duty_exponent,
+                "activation_energy_ev": self.bti.activation_energy_ev,
+                "reference_temperature_k": self.bti.reference_temperature_k,
+                "reference_duty_cycle": self.bti.reference_duty_cycle,
+                "eol_years": self.bti.eol_years,
+                "eol_delta_vth_mv": self.bti.eol_delta_vth_mv,
+            },
+        }
+
+    def label(self) -> str:
+        return (
+            f"{self.years:g}y@{self.temperature_c:g}C/{self.duty_cycle:g} "
+            f"(~{self.nominal_delta_vth_mv:.1f}mV)"
+        )

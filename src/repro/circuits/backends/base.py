@@ -33,6 +33,7 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.aging.cell_library import CellLibrary
+    from repro.aging.scenarios.base import AgingScenario
     from repro.circuits.mac import ArithmeticUnit
     from repro.circuits.netlist import Netlist
 
@@ -75,12 +76,19 @@ class SimulationBackend(ABC):
 
     @abstractmethod
     def timing_simulator(
-        self, netlist: "Netlist", library: "CellLibrary", arrival_model: str
+        self,
+        netlist: "Netlist",
+        library: "CellLibrary | AgingScenario",
+        arrival_model: str,
     ) -> Any:
         """Build the backend's two-vector timing simulator.
 
-        The returned object is backend-specific (its lane layout differs),
-        but every backend consumes the same bus-level input vectors through
+        ``library`` is a *delay source*: either a plain
+        :class:`~repro.aging.cell_library.CellLibrary` (the legacy uniform
+        contract) or an :class:`~repro.aging.scenarios.AgingScenario` that
+        resolves to a per-gate delay table for the netlist.  The returned
+        object is backend-specific (its lane layout differs), but every
+        backend consumes the same bus-level input vectors through
         :meth:`accumulate_errors`, which is the interface the error model
         programs against.
         """

@@ -49,6 +49,7 @@ from collections.abc import Mapping, Sequence
 
 import numpy as np
 
+from repro.aging.scenarios.base import resolve_gate_delays
 from repro.circuits.backends.base import BatchedSimulationBackend, ErrorCounters
 from repro.circuits.constants import propagate_constants
 from repro.circuits.gates import WORD_CELL_FUNCTIONS
@@ -474,12 +475,11 @@ class LaneTimingSimulator:
         self.library = library
         self.arrival_model = arrival_model
         self.graph = levelized_graph(netlist)
-        gate_delay_ps = {
-            gate: library.delay_ps(gate.cell_name, fanout=gate.output.fanout)
-            for level in self.graph.levels
-            for gate in level.gates
-        }
-        self._level_delays = self.graph.level_delays(gate_delay_ps)
+        # The scenario funnel covers every gate of the netlist, which is a
+        # superset of the levelized schedule's gates.
+        self._level_delays = self.graph.level_delays(
+            resolve_gate_delays(netlist, library)
+        )
 
     def propagate_batch(
         self,

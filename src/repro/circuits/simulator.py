@@ -57,6 +57,7 @@ from collections.abc import Mapping, Sequence
 import numpy as np
 
 from repro.aging.cell_library import CellLibrary
+from repro.aging.scenarios.base import AgingScenario, resolve_gate_delays
 from repro.circuits.constants import propagate_constants
 from repro.circuits.gates import CELL_FUNCTIONS, WORD_CELL_FUNCTIONS
 from repro.circuits.netlist import (
@@ -190,7 +191,7 @@ class TimingSimulator:
     def __init__(
         self,
         netlist: Netlist,
-        library: CellLibrary,
+        library: "CellLibrary | AgingScenario",
         arrival_model: str = "event",
     ) -> None:
         if arrival_model not in ARRIVAL_MODELS:
@@ -200,11 +201,9 @@ class TimingSimulator:
         self.arrival_model = arrival_model
         self._order = netlist.topological_gates()
         self._logic = LogicSimulator(netlist)
-        # Pre-compute per-gate delays: intrinsic + load-dependent (fanout).
-        self._gate_delay_ps = {
-            gate: library.delay_ps(gate.cell_name, fanout=gate.output.fanout)
-            for gate in self._order
-        }
+        # Pre-compute the per-gate delay table: a plain library degrades
+        # every cell uniformly, an aging scenario resolves gate by gate.
+        self._gate_delay_ps = resolve_gate_delays(netlist, library)
         # Nets forced to a constant by the structural zero-extension nets
         # never transition and must not contribute arrival time (this keeps
         # settle times bounded by the STA critical path).
@@ -477,7 +476,7 @@ class BatchTimingSimulator:
     def __init__(
         self,
         netlist: Netlist,
-        library: CellLibrary,
+        library: "CellLibrary | AgingScenario",
         arrival_model: str = "settle",
     ) -> None:
         if arrival_model not in BATCH_ARRIVAL_MODELS:
@@ -491,10 +490,7 @@ class BatchTimingSimulator:
         self.arrival_model = arrival_model
         self._order = netlist.topological_gates()
         self._logic = BatchLogicSimulator(netlist)
-        self._gate_delay_ps = {
-            gate: library.delay_ps(gate.cell_name, fanout=gate.output.fanout)
-            for gate in self._order
-        }
+        self._gate_delay_ps = resolve_gate_delays(netlist, library)
         self._structural_constants = propagate_constants(netlist)
 
     def propagate_batch(

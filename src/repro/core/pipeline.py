@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.aging.bti import AgingScenario
+from repro.aging.bti import AgingTimeline
 from repro.aging.cell_library import AgingAwareLibrarySet
 from repro.circuits.mac import ArithmeticUnit
 from repro.core.algorithm import AgingAwareQuantizationResult, AgingAwareQuantizer
@@ -76,19 +76,19 @@ class LevelEnergy:
 
 
 class DeviceToSystemPipeline:
-    """End-to-end lifetime study over an aging scenario."""
+    """End-to-end lifetime study over an aging timeline."""
 
     def __init__(
         self,
         mac: ArithmeticUnit | None = None,
         library_set: AgingAwareLibrarySet | None = None,
-        scenario: AgingScenario | None = None,
+        timeline: AgingTimeline | None = None,
         methods: list[QuantizationMethod] | None = None,
         max_alpha: int | None = None,
         max_beta: int | None = None,
     ) -> None:
-        self.scenario = scenario or AgingScenario()
-        self.library_set = library_set or AgingAwareLibrarySet.generate(self.scenario.levels_mv)
+        self.timeline = timeline or AgingTimeline()
+        self.library_set = library_set or AgingAwareLibrarySet.generate(self.timeline.levels_mv)
         self.quantizer = AgingAwareQuantizer(
             mac=mac,
             library_set=self.library_set,
@@ -121,13 +121,13 @@ class DeviceToSystemPipeline:
 
     def plan(self, levels_mv: tuple[float, ...] | None = None) -> list[LevelPlan]:
         """Timing plan for every level of the scenario (Table 2 / Fig. 4a)."""
-        levels = levels_mv if levels_mv is not None else self.scenario.levels_mv
+        levels = levels_mv if levels_mv is not None else self.timeline.levels_mv
         return [self.plan_level(level) for level in levels]
 
     def guardband(self) -> GuardbandAnalysis:
         """Guardband the unprotected baseline would need for the scenario."""
         return analyze_guardband(
-            end_of_life_mv=self.scenario.end_of_life_mv, analyzer=self.timing_analyzer
+            end_of_life_mv=self.timeline.end_of_life_mv, analyzer=self.timing_analyzer
         )
 
     # --------------------------------------------------------------- networks
@@ -141,7 +141,7 @@ class DeviceToSystemPipeline:
         accuracy_loss_threshold_percent: float | None = None,
     ) -> list[AgingAwareQuantizationResult]:
         """Run Algorithm 1 for one network over the (aged) scenario levels."""
-        levels = levels_mv if levels_mv is not None else self.scenario.aged_levels_mv()
+        levels = levels_mv if levels_mv is not None else self.timeline.aged_levels_mv()
         fp32_accuracy = model.accuracy(x_test, y_test)
         results = []
         for level in levels:
@@ -180,7 +180,7 @@ class DeviceToSystemPipeline:
         (end-of-life) clock period; our technique runs the compressed
         operand traffic of each level at the fresh clock period.
         """
-        levels = levels_mv if levels_mv is not None else self.scenario.levels_mv
+        levels = levels_mv if levels_mv is not None else self.timeline.levels_mv
         guardband = self.guardband()
         fresh_period = self.timing_analyzer.fresh_period_ps()
         baseline_period = guardband.end_of_life_delay_ps

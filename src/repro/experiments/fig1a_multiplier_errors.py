@@ -1,50 +1,65 @@
 """Fig. 1a — error characteristics of an aged 8-bit multiplier.
 
 The multiplier is clocked at the critical-path delay of the *fresh* circuit
-(no guardband), its cells are degraded to each examined ΔVth level, and
-random input transitions are simulated with the two-vector timing
-simulator.  The experiment reports the Mean Error Distance (MED) and the
-probability that one of the two most significant product bits is wrong —
-the two curves of the paper's Fig. 1a.
+(no guardband), its cells are degraded by each point of the configured
+aging-scenario axis, and random input transitions are simulated with the
+two-vector timing simulator.  The experiment reports the Mean Error
+Distance (MED) and the probability that one of the two most significant
+product bits is wrong — the two curves of the paper's Fig. 1a.
+
+The sweep axis is ``settings.scenario``: the default ``"uniform"`` axis is
+the paper's one-ΔVth-per-level contract (bit-identical to the pre-scenario
+implementation); ``"mission"`` sweeps years × temperature × duty cycle
+through the BTI kinetics, ``"per_cell_type"`` stresses selected cell
+families harder than the rest, and ``"variation"`` adds seeded per-gate
+ΔVth jitter.  Each row is annotated with the equivalent stress years from
+the inverse BTI kinetics, so ΔVth levels read as calendar age.
 
 By default the sweep runs on a bit-parallel batched simulation backend
-(``settings.sim_backend``, default ``"auto"``: bigint word-packing for
-narrow batches, the NumPy uint64-lane backend for wide ones) with the
-``"transition"`` arrival model (``settings.error_arrival_model``), which
-packs ``settings.sim_batch_size`` Monte-Carlo transitions per gate
-evaluation and makes paper-scale sample counts cheap while keeping the
-MSB-flip probabilities in the regime the Fig. 1b fault-injection sweep
-covers.  Set the arrival-model knob to ``"event"`` for the exact (scalar,
-event-driven) characterisation or ``"settle"`` for the pessimistic upper
-bound; backend choice never changes the statistics.
+(``settings.sim_backend``, default ``"auto"``) with the ``"transition"``
+arrival model (``settings.error_arrival_model``); backend choice never
+changes the statistics.
 """
 
 from __future__ import annotations
 
+from repro.aging.bti import BTIModel
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.settings import ExperimentSettings
 from repro.experiments.workspace import ExperimentWorkspace
 from repro.timing.error_model import sweep_timing_errors
 
 
+def equivalent_stress_years(levels_mv, bti: BTIModel | None = None) -> dict[str, float]:
+    """Calendar years matching each ΔVth level under reference conditions.
+
+    The inverse BTI kinetics (:meth:`BTIModel.years_for_delta_vth`) at the
+    model's reference operating point; keys are ``"%g"``-formatted mV levels
+    so the mapping survives a JSON round-trip unchanged.
+    """
+    bti = bti or BTIModel()
+    return {f"{float(level):g}": bti.years_for_delta_vth(float(level)) for level in levels_mv}
+
+
 def run_fig1a(
     settings: ExperimentSettings | None = None,
     workspace: ExperimentWorkspace | None = None,
 ) -> ExperimentResult:
-    """Regenerate the Fig. 1a data (MED and MSB flip probability vs ΔVth)."""
+    """Regenerate the Fig. 1a data (MED and MSB flip probability per scenario)."""
     workspace = workspace or ExperimentWorkspace.create(settings)
     settings = workspace.settings
+    scenarios = workspace.scenarios
 
     statistics = sweep_timing_errors(
         workspace.multiplier,
         workspace.library_set,
-        levels_mv=settings.aging_levels_mv,
+        scenarios=scenarios,
         num_samples=settings.error_samples,
         rng=settings.seed,
         effective_output_width=16,
         msb_count=2,
         arrival_model=settings.error_arrival_model,
-        engine=settings.sim_backend,
+        backend=settings.sim_backend,
         batch_size=settings.sim_batch_size,
         workers=settings.workers,
         chunk_size=settings.chunk_size,
@@ -74,6 +89,15 @@ def run_fig1a(
             "arrival_model": settings.error_arrival_model,
             "sim_batch_size": settings.sim_batch_size,
             "clock_period_ps": statistics[0].clock_period_ps if statistics else None,
+            # The scenario axis: family, per-point identity (the same key
+            # fields that enter the pipeline cache key), and the calendar
+            # age each point's nominal ΔVth corresponds to under the
+            # reference BTI conditions (inverse kinetics).
+            "scenario": settings.scenario,
+            "scenario_points": [scenario.key_fields() for scenario in scenarios],
+            "equivalent_stress_years": equivalent_stress_years(
+                [stat.delta_vth_mv for stat in statistics]
+            ),
             "paper_reference": "MED and MSB flip probability rise monotonically with aging; "
             "errors are negligible when fresh and unacceptable towards 50 mV",
         },

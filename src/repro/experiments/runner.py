@@ -22,6 +22,7 @@ import argparse
 from pathlib import Path
 from collections.abc import Callable, Sequence
 
+from repro.aging.scenarios import SCENARIO_KINDS
 from repro.circuits.backends import BACKEND_ALIASES, backend_names
 from repro.experiments.ablation_precision_scaling import run_precision_scaling_ablation
 from repro.experiments.ablation_surrogate import run_surrogate_ablation
@@ -205,6 +206,26 @@ def main(argv: Sequence[str] | None = None) -> int:
         "(default: %(default)s -> settings.sim_batch_size); also what the "
         "auto backend selection keys on",
     )
+    parser.add_argument(
+        "--scenario",
+        choices=SCENARIO_KINDS,
+        default=None,
+        help="aging-scenario family of the Fig. 1a error sweep: 'uniform' "
+        "(paper baseline, one scalar dVth per level), 'mission' (years x "
+        "temperature x duty cycle through the BTI kinetics, see --years), "
+        "'per_cell_type' (heterogeneous per-cell-family stress) or "
+        "'variation' (seeded per-gate dVth jitter); this is statistical "
+        "configuration and keys the pipeline artifact cache",
+    )
+    parser.add_argument(
+        "--years",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="YEARS",
+        help="mission-profile stress years to sweep (implies --scenario "
+        "mission unless another family is selected explicitly)",
+    )
     arguments = parser.parse_args(argv)
 
     if arguments.all or arguments.experiments is None:
@@ -223,6 +244,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         overrides["cache_dir"] = arguments.cache_dir
     if arguments.lanes is not None:
         overrides["sim_batch_size"] = arguments.lanes
+    if arguments.years is not None:
+        if any(years < 0 for years in arguments.years):
+            parser.error("--years values must be non-negative")
+        overrides["mission_years"] = tuple(arguments.years)
+    if arguments.scenario is not None:
+        overrides["scenario"] = arguments.scenario
+    elif arguments.years is not None:
+        # Asking for stress years without naming a family means the mission
+        # axis; an explicit --scenario always wins.
+        overrides["scenario"] = "mission"
     settings = settings_factory(**overrides)
 
     if arguments.list:

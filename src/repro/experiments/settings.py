@@ -17,6 +17,13 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.aging.bti import STANDARD_DELTA_VTH_LEVELS_MV
+from repro.aging.scenarios import (
+    SCENARIO_KINDS,
+    MissionProfile,
+    PerCellTypeAging,
+    UniformAging,
+    VariationAging,
+)
 from repro.nn.zoo import FIG1B_NETWORKS, TABLE1_NETWORKS
 
 
@@ -60,8 +67,25 @@ class ExperimentSettings:
     test_subset: int = 250
     calibration_samples: int = 48
 
-    # Aging scenario.
+    # Aging-scenario axis of the Fig. 1a error sweep.  ``scenario`` selects
+    # the family (see repro.aging.scenarios.SCENARIO_KINDS): "uniform" is
+    # the paper's baseline (one UniformAging per aging_levels_mv entry,
+    # bit-identical to the legacy uniform-ΔVth path); "mission" sweeps
+    # mission_years at mission_temperature_c/mission_duty_cycle through the
+    # BTI kinetics; "per_cell_type" stresses the percell_stress cell
+    # families at each level's full ΔVth and everything else at
+    # percell_default_fraction of it; "variation" draws a seeded per-gate
+    # Gaussian ΔVth (sigma = variation_sigma_mv) around each level.  All
+    # scenario fields are statistical configuration and participate in the
+    # pipeline cache keys of the experiments that read them.
     aging_levels_mv: tuple[float, ...] = STANDARD_DELTA_VTH_LEVELS_MV
+    scenario: str = "uniform"
+    mission_years: tuple[float, ...] = (0.0, 1.0, 3.0, 5.0, 7.0, 10.0)
+    mission_temperature_c: float = 85.0
+    mission_duty_cycle: float = 1.0
+    percell_stress: tuple[str, ...] = ("XOR2", "XNOR2")
+    percell_default_fraction: float = 0.5
+    variation_sigma_mv: float = 5.0
 
     # Compression search space (Algorithm 1 uses [0, 8]^2; the delay of the
     # MAC saturates well before that, so the default keeps the search tight).
@@ -140,3 +164,46 @@ class ExperimentSettings:
     @property
     def aged_levels_mv(self) -> tuple[float, ...]:
         return tuple(level for level in self.aging_levels_mv if level > 0)
+
+    def aging_scenarios(self):
+        """The aging-scenario axis selected by the scenario fields.
+
+        One :class:`~repro.aging.scenarios.AgingScenario` per sweep point,
+        unbound (consumers bind the fresh library of their library set).
+        Points are emitted in ascending stress order — exactly the sorted
+        order the legacy ``levels_mv`` sweep used, so the ``"uniform"``
+        axis stays bit-identical to the pre-scenario path even for
+        unsorted ``aging_levels_mv`` tuples.
+        """
+        levels = sorted(float(level) for level in self.aging_levels_mv)
+        if self.scenario == "uniform":
+            return tuple(UniformAging(level) for level in levels)
+        if self.scenario == "mission":
+            return tuple(
+                MissionProfile(
+                    years=float(years),
+                    temperature_c=self.mission_temperature_c,
+                    duty_cycle=self.mission_duty_cycle,
+                )
+                for years in sorted(self.mission_years)
+            )
+        if self.scenario == "per_cell_type":
+            return tuple(
+                PerCellTypeAging(
+                    {cell: level for cell in self.percell_stress},
+                    default_mv=level * self.percell_default_fraction,
+                )
+                for level in levels
+            )
+        if self.scenario == "variation":
+            return tuple(
+                VariationAging(
+                    nominal_mv=level,
+                    sigma_mv=self.variation_sigma_mv,
+                    seed=self.seed,
+                )
+                for level in levels
+            )
+        raise ValueError(
+            f"unknown aging scenario {self.scenario!r}; expected one of {SCENARIO_KINDS}"
+        )

@@ -8,6 +8,7 @@ user threshold, as in the paper's evaluation).
 
 from __future__ import annotations
 
+from repro.experiments.fig1a_multiplier_errors import equivalent_stress_years
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.settings import ExperimentSettings
 from repro.experiments.workspace import ExperimentWorkspace
@@ -73,6 +74,10 @@ def run_table1(
         rows=rows,
         metadata={
             "average_loss_per_level": average_losses,
+            # Calendar age of each examined level from the inverse BTI
+            # kinetics, so "50 mV" reads as "10 years at the reference
+            # operating point".
+            "equivalent_stress_years": equivalent_stress_years(settings.aged_levels_mv),
             "paper_average_loss_per_level": PAPER_TABLE1_AVERAGE_LOSS,
             "networks": [display_name(name) for name in settings.table1_networks],
             "paper_reference": "graceful degradation: the paper reports 0.24%..2.96% average loss "

@@ -19,8 +19,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.aging.bti import AgingScenario
+from repro.aging.bti import AgingTimeline
 from repro.aging.cell_library import AgingAwareLibrarySet
+from repro.aging.scenarios import AgingScenario
 from repro.circuits.mac import ArithmeticUnit, build_mac, build_multiplier
 from repro.core.pipeline import DeviceToSystemPipeline
 from repro.experiments.settings import ExperimentSettings
@@ -139,8 +140,16 @@ class ExperimentWorkspace:
             self._pipeline = DeviceToSystemPipeline(
                 mac=self.mac,
                 library_set=self.library_set,
-                scenario=AgingScenario(levels_mv=self.settings.aging_levels_mv),
+                timeline=AgingTimeline(levels_mv=self.settings.aging_levels_mv),
                 max_alpha=self.settings.max_alpha,
                 max_beta=self.settings.max_beta,
             )
         return self._pipeline
+
+    @property
+    def scenarios(self) -> tuple[AgingScenario, ...]:
+        """The settings' aging-scenario axis (see
+        :meth:`ExperimentSettings.aging_scenarios`), bound to the shared
+        library set's fresh characterisation."""
+        fresh = self.library_set.fresh
+        return tuple(s.bound_to(fresh) for s in self.settings.aging_scenarios())

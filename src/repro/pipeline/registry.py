@@ -147,12 +147,24 @@ def build_experiment_graph(settings: ExperimentSettings) -> TaskGraph:
             # sim_batch_size is statistical configuration, not throughput:
             # the sweep's samples-per-shard floor follows it, which changes
             # the drawn Monte-Carlo streams (the backend choice does not).
+            # The scenario fields are how scenario key fields participate in
+            # the artifact key: they fully determine the scenario axis
+            # (settings.aging_scenarios()), so switching the family or any
+            # of its knobs invalidates fig1a — while the default uniform
+            # axis keeps serving the byte-identical uniform result.
             settings_fields=(
                 "seed",
                 "aging_levels_mv",
                 "error_samples",
                 "error_arrival_model",
                 "sim_batch_size",
+                "scenario",
+                "mission_years",
+                "mission_temperature_c",
+                "mission_duty_cycle",
+                "percell_stress",
+                "percell_default_fraction",
+                "variation_sigma_mv",
             ),
         )
     )

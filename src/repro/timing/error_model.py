@@ -2,21 +2,41 @@
 
 Reproduces the methodology behind the paper's Fig. 1a: the circuit is
 clocked at the maximum frequency obtained from the *fresh* critical-path
-delay (no guardband), its cells are degraded to a given ΔVth, and random
-input pairs are simulated with the two-vector timing simulator.  Output bits
-that settle after the clock edge capture stale values, producing the
-MSB-dominated error pattern the paper reports (rising Mean Error Distance
-and MSB bit-flip probability as ΔVth grows).
+delay (no guardband), its cells are degraded by an aging scenario, and
+random input pairs are simulated with the two-vector timing simulator.
+Output bits that settle after the clock edge capture stale values, producing
+the MSB-dominated error pattern the paper reports (rising Mean Error
+Distance and MSB bit-flip probability as aging grows).
+
+Aging scenarios
+---------------
+
+Both entry points consume *delay sources*: either an (aged)
+:class:`~repro.aging.cell_library.CellLibrary` — the paper's uniform-ΔVth
+contract — or any :class:`~repro.aging.scenarios.AgingScenario`, which
+resolves to a per-gate delay table (mission profiles, per-cell-type stress,
+seeded per-gate variation).  :func:`sweep_timing_errors` sweeps an axis of
+scenarios; its legacy ``levels_mv`` interface builds the equivalent
+:class:`~repro.aging.scenarios.UniformAging` axis and is bit-identical to
+the pre-scenario implementation.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from collections.abc import Callable, Iterable, Mapping
+from collections.abc import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.aging.cell_library import AgingAwareLibrarySet, CellLibrary
+from repro.aging.scenarios.base import (
+    AgingScenario,
+    AgingScenarioSet,
+    default_fresh_library,
+    nominal_delta_vth_mv,
+)
+from repro.aging.scenarios.uniform import UniformAging
 from repro.circuits.backends import ErrorCounters, get_backend, resolve_backend
 from repro.circuits.mac import ArithmeticUnit
 from repro.parallel import ParallelExecutor, shard_sizes, spawn_seed_sequences
@@ -40,7 +60,8 @@ class TimingErrorStatistics:
     """Error statistics of an aged circuit clocked at a fixed period.
 
     Attributes:
-        delta_vth_mv: aging level the cells were degraded to.
+        delta_vth_mv: nominal aging level of the delay source (a scenario's
+            :attr:`~repro.aging.scenarios.AgingScenario.nominal_delta_vth_mv`).
         clock_period_ps: sampling clock period (fresh critical-path delay).
         num_samples: number of simulated input transitions.
         mean_error_distance: average absolute difference between the exact
@@ -84,6 +105,23 @@ def _resolve_output_window(
     return width
 
 
+def _resolve_backend_name(backend: str, engine: str | None) -> str:
+    """Fold the deprecated ``engine=`` spelling into ``backend=``."""
+    if engine is None:
+        return backend
+    warnings.warn(
+        "the 'engine' parameter is deprecated; use 'backend' (same accepted "
+        "names: registered backends or 'auto')",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    if backend != "auto" and backend != engine:
+        raise ValueError(
+            f"pass either backend={backend!r} or the deprecated engine={engine!r}, not both"
+        )
+    return engine
+
+
 def _draw_input_vectors(
     unit: ArithmeticUnit,
     input_sampler: InputSampler | None,
@@ -111,7 +149,7 @@ def _draw_input_vectors(
 
 def characterize_timing_errors(
     unit: ArithmeticUnit,
-    library: CellLibrary,
+    library: "CellLibrary | AgingScenario",
     clock_period_ps: float,
     num_samples: int = 2000,
     rng: "int | np.random.Generator | None" = None,
@@ -120,15 +158,18 @@ def characterize_timing_errors(
     msb_count: int = 2,
     effective_output_width: int | None = None,
     arrival_model: str = "event",
-    engine: str = "auto",
+    backend: str = "auto",
     batch_size: int | None = None,
+    engine: str | None = None,
 ) -> TimingErrorStatistics:
-    """Characterise the timing errors of ``unit`` under ``library`` aging.
+    """Characterise the timing errors of ``unit`` under an aging delay source.
 
     Args:
         unit: the circuit under test (multiplier or MAC).
-        library: an (aged) cell library; the fresh library yields zero errors
-            when ``clock_period_ps`` equals the fresh critical path.
+        library: the delay source — an (aged) cell library or any
+            :class:`~repro.aging.scenarios.AgingScenario`; the fresh library
+            yields zero errors when ``clock_period_ps`` equals the fresh
+            critical path.
         clock_period_ps: capture clock period, typically the fresh
             critical-path delay obtained from STA.
         num_samples: number of random input transitions to simulate.
@@ -143,7 +184,7 @@ def characterize_timing_errors(
             wider); defaults to the full bus width.
         arrival_model: ``"event"`` (exact, glitch-accurate), ``"settle"``
             (pessimistic bound) or ``"transition"`` (optimistic bound).
-        engine: a registered simulation-backend name (``"scalar"``,
+        backend: a registered simulation-backend name (``"scalar"``,
             ``"bigint"``, ``"ndarray"``; ``"batch"`` is a historical alias
             for ``"bigint"``) or ``"auto"`` to let the registry pick by
             arrival model and batch width — see
@@ -153,26 +194,29 @@ def characterize_timing_errors(
         batch_size: vector pairs (lanes) per packed batch for the batched
             backends (default :data:`DEFAULT_BATCH_SIZE`); also what the
             auto-selection heuristic keys on.
+        engine: deprecated alias for ``backend`` (emits a
+            ``DeprecationWarning``).
     """
     if num_samples < 1:
         raise ValueError("num_samples must be >= 1")
     if clock_period_ps <= 0:
         raise ValueError("clock_period_ps must be positive")
-    backend, batch_size = resolve_backend(
-        engine, arrival_model, batch_size, default_batch_size=DEFAULT_BATCH_SIZE
+    backend = _resolve_backend_name(backend, engine)
+    resolved, batch_size = resolve_backend(
+        backend, arrival_model, batch_size, default_batch_size=DEFAULT_BATCH_SIZE
     )
     width = _resolve_output_window(unit, output_bus, effective_output_width, msb_count)
 
     generator = make_rng(rng)
     vectors = _draw_input_vectors(unit, input_sampler, generator, num_samples + 1)
-    simulator = backend.timing_simulator(unit.netlist, library, arrival_model)
-    counters = backend.accumulate_errors(
+    simulator = resolved.timing_simulator(unit.netlist, library, arrival_model)
+    counters = resolved.accumulate_errors(
         unit, simulator, vectors, clock_period_ps, output_bus, msb_count, width, batch_size
     )
     bit_flip_counts, msb_flip_count, error_count, total_error_distance = counters
 
     return TimingErrorStatistics(
-        delta_vth_mv=library.delta_vth_mv,
+        delta_vth_mv=nominal_delta_vth_mv(library),
         clock_period_ps=clock_period_ps,
         num_samples=num_samples,
         mean_error_distance=total_error_distance / num_samples,
@@ -187,16 +231,18 @@ class _TimingSweepContext:
     """Shared, picklable state of one timing-error sweep.
 
     Shipped to each worker process exactly once (via the executor payload),
-    so workers reuse one :class:`AgingAwareLibrarySet` — aged libraries and
-    their memoised delay tables are built once per ΔVth level per process,
-    not once per shard.  The backend is carried by *name* (backends are
-    stateless registry singletons, so the choice survives pickling into
-    workers trivially); the simulator cache itself is per-process scratch
-    state and is deliberately not pickled.
+    so workers reuse one bound scenario axis — aged libraries and per-gate
+    delay tables are resolved once per scenario per process, not once per
+    shard.  Scenario resolution is a pure function of (scenario fields,
+    netlist structure), so every worker resolves bit-identical tables.  The
+    backend is carried by *name* (backends are stateless registry
+    singletons, so the choice survives pickling into workers trivially);
+    the simulator cache itself is per-process scratch state and is
+    deliberately not pickled.
     """
 
     unit: ArithmeticUnit
-    library_set: AgingAwareLibrarySet
+    scenarios: tuple[AgingScenario, ...]
     clock_period_ps: float
     input_sampler: InputSampler | None
     output_bus: str
@@ -212,29 +258,28 @@ class _TimingSweepContext:
         state["simulator_cache"] = {}
         return state
 
-    def simulator(self, level_mv: float):
-        """Per-process simulator for one aging level (delay tables cached)."""
-        key = (level_mv, self.arrival_model, self.backend)
+    def simulator(self, index: int):
+        """Per-process simulator for one scenario (delay tables cached)."""
+        key = (index, self.arrival_model, self.backend)
         simulator = self.simulator_cache.get(key)
         if simulator is None:
-            library = self.library_set.library(level_mv)
             simulator = get_backend(self.backend).timing_simulator(
-                self.unit.netlist, library, self.arrival_model
+                self.unit.netlist, self.scenarios[index], self.arrival_model
             )
             self.simulator_cache[key] = simulator
         return simulator
 
 
 def _timing_shard_task(
-    item: tuple[float, int, np.random.SeedSequence], context: _TimingSweepContext
+    item: tuple[int, int, np.random.SeedSequence], context: _TimingSweepContext
 ) -> ErrorCounters:
-    """Simulate one (ΔVth level, sample shard) work item and return counters."""
-    level_mv, shard_samples, seed = item
+    """Simulate one (scenario, sample shard) work item and return counters."""
+    scenario_index, shard_samples, seed = item
     generator = np.random.default_rng(seed)
     vectors = _draw_input_vectors(context.unit, context.input_sampler, generator, shard_samples + 1)
     return get_backend(context.backend).accumulate_errors(
         context.unit,
-        context.simulator(level_mv),
+        context.simulator(scenario_index),
         vectors,
         context.clock_period_ps,
         context.output_bus,
@@ -244,9 +289,58 @@ def _timing_shard_task(
     )
 
 
+def _resolve_scenario_axis(
+    library_set: "AgingAwareLibrarySet | AgingScenarioSet | None",
+    levels_mv: Iterable[float],
+    scenarios: "Sequence[AgingScenario] | None",
+) -> tuple[CellLibrary, tuple[AgingScenario, ...]]:
+    """The sweep's (fresh library, scenario axis) from the legacy or new API.
+
+    Explicit ``scenarios`` win (caller order preserved); an
+    :class:`AgingScenarioSet` supplies its own axis; otherwise ``levels_mv``
+    builds the paper's uniform axis (sorted ascending, exactly as the
+    pre-scenario sweep did).  The returned fresh library is also the clock
+    reference, so when no ``library_set`` names one, a pre-bound scenario's
+    own library wins over the default — the capture clock must come from
+    the same characterisation the scenarios resolve against.
+    """
+    if isinstance(library_set, AgingScenarioSet):
+        fresh = library_set.fresh
+        axis = library_set.scenarios
+    elif isinstance(library_set, AgingAwareLibrarySet):
+        fresh = library_set.fresh
+        axis = None
+    elif library_set is None:
+        fresh = default_fresh_library()
+        axis = None
+    else:
+        raise TypeError(
+            "library_set must be an AgingAwareLibrarySet, an AgingScenarioSet "
+            f"or None, got {type(library_set).__name__}"
+        )
+    if scenarios is not None:
+        if library_set is None:
+            for scenario in scenarios:
+                bound = getattr(scenario, "library", None)
+                if bound is not None:
+                    if not bound.is_fresh:
+                        raise ValueError(
+                            "scenarios must be bound to a fresh (0 mV) library"
+                        )
+                    fresh = bound
+                    break
+        axis = tuple(scenario.bound_to(fresh) for scenario in scenarios)
+        if not axis:
+            raise ValueError("scenarios must not be empty")
+    elif axis is None:
+        levels = sorted(float(level) for level in levels_mv)
+        axis = tuple(UniformAging(level, library=fresh) for level in levels)
+    return fresh, axis
+
+
 def sweep_timing_errors(
     unit: ArithmeticUnit,
-    library_set: AgingAwareLibrarySet,
+    library_set: "AgingAwareLibrarySet | AgingScenarioSet | None" = None,
     levels_mv: Iterable[float] = (0.0, 10.0, 20.0, 30.0, 40.0, 50.0),
     num_samples: int = 2000,
     rng: "int | np.random.Generator | None" = None,
@@ -254,23 +348,40 @@ def sweep_timing_errors(
     msb_count: int = 2,
     effective_output_width: int | None = None,
     arrival_model: str = "event",
-    engine: str = "auto",
+    backend: str = "auto",
     batch_size: int | None = None,
     workers: int = 0,
     chunk_size: int | None = None,
     samples_per_shard: int | None = None,
+    scenarios: "Sequence[AgingScenario] | None" = None,
+    engine: str | None = None,
 ) -> list[TimingErrorStatistics]:
-    """Characterise ``unit`` at several aging levels, fresh clock throughout.
+    """Characterise ``unit`` over an aging-scenario axis, fresh clock throughout.
 
     This is the full Fig. 1a experiment: the clock period is the fresh
-    critical-path delay (no guardband) and each level uses its own aged
-    library.  ``arrival_model``/``engine``/``batch_size`` select the
-    simulation backend through the registry exactly as in
-    :func:`characterize_timing_errors`; the resolved backend name is what
-    ships to worker processes, so the choice survives pickling.
+    critical-path delay (no guardband) and each sweep point degrades the
+    gates through its own aging scenario.  The axis comes from (first match
+    wins):
 
-    The Monte-Carlo work is sharded by ΔVth level *and* by sample batch
-    within a level (``samples_per_shard`` samples per work item, default
+    * ``scenarios`` — any sequence of
+      :class:`~repro.aging.scenarios.AgingScenario` objects (mission
+      profiles, per-cell-type stress, per-gate variation, ...); results are
+      returned in the given order;
+    * a ``library_set`` that is an :class:`~repro.aging.scenarios.
+      AgingScenarioSet` — its scenarios, in axis order;
+    * ``levels_mv`` — the paper's uniform axis, one
+      :class:`~repro.aging.scenarios.UniformAging` per level, sorted
+      ascending.  This is the legacy interface and produces statistics
+      bit-identical to the pre-scenario implementation.
+
+    ``arrival_model``/``backend``/``batch_size`` select the simulation
+    backend through the registry exactly as in
+    :func:`characterize_timing_errors` (``engine`` is the deprecated alias);
+    the resolved backend name is what ships to worker processes, so the
+    choice survives pickling.
+
+    The Monte-Carlo work is sharded by scenario *and* by sample batch within
+    a scenario (``samples_per_shard`` samples per work item, default
     :data:`DEFAULT_SAMPLES_PER_SHARD` or the batch size, whichever is
     larger, so wide-lane batches are never truncated by the shard plan) and
     executed on a :class:`~repro.parallel.ParallelExecutor`:
@@ -279,10 +390,11 @@ def sweep_timing_errors(
       fans them out over ``N`` worker processes; ``-1`` uses every CPU.
     * Each work item draws from its own :class:`numpy.random.SeedSequence`
       child spawned from ``rng``, keyed only by the item's position in the
-      sweep, so the returned statistics are **bit-identical for any
+      sweep, and scenario resolution is deterministic by construction, so
+      the returned statistics are **bit-identical for any
       ``workers``/``chunk_size``** combination and any scheduling order.
-    * Results are merged in shard order and returned sorted by ΔVth level,
-      regardless of worker completion order.
+    * Results are merged in shard order, one entry per scenario in axis
+      order, regardless of worker completion order.
 
     A custom ``input_sampler`` that cannot be pickled (e.g. a local closure)
     still parallelises under the fork start method (workers inherit it); on
@@ -291,8 +403,9 @@ def sweep_timing_errors(
     """
     if num_samples < 1:
         raise ValueError("num_samples must be >= 1")
-    backend, batch_size = resolve_backend(
-        engine, arrival_model, batch_size, default_batch_size=DEFAULT_BATCH_SIZE
+    backend = _resolve_backend_name(backend, engine)
+    resolved, batch_size = resolve_backend(
+        backend, arrival_model, batch_size, default_batch_size=DEFAULT_BATCH_SIZE
     )
     if samples_per_shard is None:
         # A shard must hold at least one full batch, or wide --lanes settings
@@ -304,46 +417,48 @@ def sweep_timing_errors(
     output_bus = "out"
     width = _resolve_output_window(unit, output_bus, effective_output_width, msb_count)
 
-    fresh_period_ps = StaticTimingAnalyzer(unit, library_set.fresh).critical_path_delay()
-    levels = sorted(float(level) for level in levels_mv)
+    fresh, axis = _resolve_scenario_axis(library_set, levels_mv, scenarios)
+    fresh_period_ps = StaticTimingAnalyzer(unit, fresh).critical_path_delay()
     shard_plan = shard_sizes(num_samples, samples_per_shard)
-    # One child stream per sample shard, *shared across levels*: every ΔVth
-    # level is characterised on the identical input-transition chain (common
-    # random numbers), which isolates the aging effect and keeps cross-level
-    # comparisons (MED/MSB monotonicity) low-variance even at small sample
-    # counts — exactly what the old sequential implementation could not do.
+    # One child stream per sample shard, *shared across scenarios*: every
+    # sweep point is characterised on the identical input-transition chain
+    # (common random numbers), which isolates the aging effect and keeps
+    # cross-point comparisons (MED/MSB monotonicity) low-variance even at
+    # small sample counts.
     seeds = spawn_seed_sequences(rng, len(shard_plan))
     items = [
-        (level, shard_samples, seeds[shard_index])
-        for level in levels
+        (scenario_index, shard_samples, seeds[shard_index])
+        for scenario_index in range(len(axis))
         for shard_index, shard_samples in enumerate(shard_plan)
     ]
     context = _TimingSweepContext(
         unit=unit,
-        library_set=library_set,
+        scenarios=axis,
         clock_period_ps=fresh_period_ps,
         input_sampler=input_sampler,
         output_bus=output_bus,
         msb_count=msb_count,
         width=width,
         arrival_model=arrival_model,
-        backend=backend.name,
+        backend=resolved.name,
         batch_size=batch_size,
     )
     executor = ParallelExecutor(workers=workers, chunk_size=chunk_size)
     counters = executor.map(_timing_shard_task, items, payload=context)
 
     results = []
-    shards_per_level = len(shard_plan)
+    shards_per_scenario = len(shard_plan)
     empty = ErrorCounters(np.zeros(width, dtype=np.int64), 0, 0, 0.0)
-    for level_index, level in enumerate(levels):
-        level_counters = counters[level_index * shards_per_level : (level_index + 1) * shards_per_level]
+    for scenario_index, scenario in enumerate(axis):
+        scenario_counters = counters[
+            scenario_index * shards_per_scenario : (scenario_index + 1) * shards_per_scenario
+        ]
         # Left-fold in shard order: float sums stay bit-identical to the
         # serial accumulation for any workers/chunk_size combination.
-        total = sum(level_counters, start=empty)
+        total = sum(scenario_counters, start=empty)
         results.append(
             TimingErrorStatistics(
-                delta_vth_mv=library_set.library(level).delta_vth_mv,
+                delta_vth_mv=scenario.nominal_delta_vth_mv,
                 clock_period_ps=fresh_period_ps,
                 num_samples=num_samples,
                 mean_error_distance=total.total_error_distance / num_samples,

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from collections.abc import Mapping, Sequence
 
 from repro.aging.cell_library import CellLibrary
+from repro.aging.scenarios.base import AgingScenario, resolve_gate_delays
 from repro.circuits.backends import corner_case_delays
 from repro.circuits.constants import propagate_constants
 from repro.circuits.mac import ArithmeticUnit
@@ -47,14 +48,17 @@ class TimingPath:
 class StaticTimingAnalyzer:
     """Topological worst-case STA for a combinational netlist."""
 
-    def __init__(self, target: "ArithmeticUnit | Netlist", library: CellLibrary) -> None:
+    def __init__(
+        self,
+        target: "ArithmeticUnit | Netlist",
+        library: "CellLibrary | AgingScenario",
+    ) -> None:
         self.netlist = target.netlist if isinstance(target, ArithmeticUnit) else target
         self.library = library
         self._order = self.netlist.topological_gates()
-        self._gate_delay_ps = {
-            gate: library.delay_ps(gate.cell_name, fanout=gate.output.fanout)
-            for gate in self._order
-        }
+        # Per-gate delays through the scenario funnel: a plain CellLibrary
+        # degrades uniformly, an AgingScenario resolves gate by gate.
+        self._gate_delay_ps = resolve_gate_delays(self.netlist, library)
         #: Number of levelized arrival traversals this engine has run — the
         #: multi-corner path counts one traversal for a whole corner batch,
         #: which is what the case-analysis sweep benchmark asserts on.

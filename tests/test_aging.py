@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.aging.bti import AgingScenario, BTIModel, STANDARD_DELTA_VTH_LEVELS_MV
+from repro.aging.bti import AgingTimeline, BTIModel, STANDARD_DELTA_VTH_LEVELS_MV
 from repro.aging.cell_library import (
     AgingAwareLibrarySet,
     CellLibrary,
@@ -55,18 +55,18 @@ class TestBTIModel:
             BTIModel(eol_years=0.0)
 
 
-class TestAgingScenario:
+class TestAgingTimeline:
     def test_standard_levels(self):
-        scenario = AgingScenario()
+        scenario = AgingTimeline()
         assert scenario.levels_mv == STANDARD_DELTA_VTH_LEVELS_MV
         assert scenario.fresh_level_mv == 0.0
         assert scenario.end_of_life_mv == 50.0
 
     def test_aged_levels_exclude_fresh(self):
-        assert 0.0 not in AgingScenario().aged_levels_mv()
+        assert 0.0 not in AgingTimeline().aged_levels_mv()
 
     def test_timeline_monotone(self):
-        timeline = AgingScenario().timeline()
+        timeline = AgingTimeline().timeline()
         years = [entry[1] for entry in timeline]
         assert years == sorted(years)
         assert years[0] == 0.0
@@ -74,7 +74,7 @@ class TestAgingScenario:
 
     def test_unsorted_levels_rejected(self):
         with pytest.raises(ValueError):
-            AgingScenario(levels_mv=(10.0, 0.0))
+            AgingTimeline(levels_mv=(10.0, 0.0))
 
 
 class TestAlphaPowerDelayModel:

@@ -226,7 +226,7 @@ class TestLaneSimulatorEquivalence:
         results = [
             characterize_timing_errors(
                 unit, library, period, num_samples=30, rng=3,
-                arrival_model="settle", engine=name, batch_size=8, msb_count=1,
+                arrival_model="settle", backend=name, batch_size=8, msb_count=1,
             )
             for name in ALL_BACKENDS
         ]
@@ -273,7 +273,7 @@ class TestErrorModelBackendEquivalence:
         )
         results = {
             name: characterize_timing_errors(
-                unit, library, period, engine=name, batch_size=64, **kwargs
+                unit, library, period, backend=name, batch_size=64, **kwargs
             )
             for name in ALL_BACKENDS
         }
@@ -312,7 +312,7 @@ class TestErrorModelBackendEquivalence:
                 num_samples=samples,
                 rng=seed,
                 arrival_model=model,
-                engine=name,
+                backend=name,
                 batch_size=batch_size,
                 msb_count=1,
             )
@@ -331,12 +331,12 @@ class TestErrorModelBackendEquivalence:
             samples_per_shard=10,
         )
         serial = {
-            name: sweep_timing_errors(unit, _LIBRARIES, engine=name, workers=0, **kwargs)
+            name: sweep_timing_errors(unit, _LIBRARIES, backend=name, workers=0, **kwargs)
             for name in ALL_BACKENDS
         }
         assert serial["scalar"] == serial["bigint"] == serial["ndarray"]
         parallel = sweep_timing_errors(
-            unit, _LIBRARIES, engine="ndarray", workers=2, **kwargs
+            unit, _LIBRARIES, backend="ndarray", workers=2, **kwargs
         )
         assert parallel == serial["ndarray"]
 

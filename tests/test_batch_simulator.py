@@ -268,11 +268,11 @@ class TestErrorModelEngines:
             arrival_model=model,
         )
         scalar = characterize_timing_errors(
-            unit, library, period, engine="scalar", **kwargs
+            unit, library, period, backend="scalar", **kwargs
         )
         # A batch size smaller than the sample count exercises chunking.
         batch = characterize_timing_errors(
-            unit, library, period, engine="batch", batch_size=64, **kwargs
+            unit, library, period, backend="batch", batch_size=64, **kwargs
         )
         assert scalar == batch
         assert batch.error_rate > 0.0
@@ -294,14 +294,14 @@ class TestErrorModelEngines:
         unit = build_multiplier(4, "array")
         library = _LIBRARIES.fresh
         with pytest.raises(ValueError, match="engine"):
-            characterize_timing_errors(unit, library, 100.0, num_samples=4, engine="gpu")
+            characterize_timing_errors(unit, library, 100.0, num_samples=4, backend="gpu")
         with pytest.raises(ValueError, match="arrival_model"):
             characterize_timing_errors(
                 unit, library, 100.0, num_samples=4, arrival_model="exact"
             )
         with pytest.raises(ValueError, match="batched engine"):
             characterize_timing_errors(
-                unit, library, 100.0, num_samples=4, arrival_model="event", engine="batch"
+                unit, library, 100.0, num_samples=4, arrival_model="event", backend="batch"
             )
         with pytest.raises(ValueError, match="batch_size"):
             characterize_timing_errors(

@@ -7,7 +7,7 @@ stay fast while covering every decision the algorithm makes.
 
 import pytest
 
-from repro.aging.bti import AgingScenario
+from repro.aging.bti import AgingTimeline
 from repro.core.algorithm import AgingAwareQuantizer
 from repro.core.compression import CompressionChoice
 from repro.core.guardband import analyze_guardband, baseline_delay_trajectory, compensated_delay_trajectory
@@ -149,7 +149,7 @@ class TestPipeline:
         return DeviceToSystemPipeline(
             mac=paper_mac,
             library_set=library_set,
-            scenario=AgingScenario(levels_mv=(0.0, 20.0, 50.0)),
+            timeline=AgingTimeline(levels_mv=(0.0, 20.0, 50.0)),
             methods=available_methods(["M2", "M4"]),
             max_alpha=4,
             max_beta=4,

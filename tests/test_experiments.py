@@ -5,6 +5,8 @@ drastically reduced settings profile so the suite stays fast; their full
 versions are covered by the benchmark harness.
 """
 
+import json
+
 import numpy as np
 import pytest
 
@@ -316,6 +318,34 @@ class TestRunner:
         )
         assert exit_code == 0
         assert "Fig. 2" in capsys.readouterr().out
+
+    def test_cli_scenario_and_years(self, tmp_path, capsys):
+        """--years implies the mission axis; the rows sweep mission points."""
+        exit_code = main(
+            ["--experiments", "fig1a", "--no-cache", "--lanes", "64",
+             "--years", "0", "10", "--output", str(tmp_path)]
+        )
+        assert exit_code == 0
+        assert "Fig. 1a" in capsys.readouterr().out
+        stored = json.loads((tmp_path / "fig1a.json").read_text())
+        assert stored["metadata"]["scenario"] == "mission"
+        assert [point["kind"] for point in stored["metadata"]["scenario_points"]] == [
+            "mission",
+            "mission",
+        ]
+        levels = [row[0] for row in stored["rows"]]
+        assert levels[0] == 0.0
+        assert levels[-1] == pytest.approx(50.0)
+        assert "equivalent_stress_years" in stored["metadata"]
+
+    def test_cli_rejects_bad_scenario_args(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--experiments", "fig1a", "--scenario", "cosmic"])
+        assert excinfo.value.code == 2
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--experiments", "fig1a", "--years", "-1"])
+        assert excinfo.value.code == 2
+        assert "error" in capsys.readouterr().err
 
     def test_fig4b_alone_pulls_table1_through_the_graph(self, tmp_path):
         """Regression: the old runner silently passed table1=None here."""

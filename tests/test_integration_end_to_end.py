@@ -15,7 +15,7 @@ paper reports:
 
 import pytest
 
-from repro.aging.bti import AgingScenario
+from repro.aging.bti import AgingTimeline
 from repro.core.pipeline import DeviceToSystemPipeline
 from repro.nn.evaluate import evaluate_with_fault_injection
 from repro.quantization.registry import available_methods, get_method
@@ -26,7 +26,7 @@ def pipeline(paper_mac, library_set):
     return DeviceToSystemPipeline(
         mac=paper_mac,
         library_set=library_set,
-        scenario=AgingScenario(),
+        timeline=AgingTimeline(),
         methods=available_methods(["M2", "M3", "M4"]),
         max_alpha=4,
         max_beta=4,

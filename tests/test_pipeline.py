@@ -168,6 +168,19 @@ class TestCacheKeys:
         assert keys2["fig1a"] != keys["fig1a"]
         assert all(keys2[n] == keys[n] for n in keys if n != "fig1a")
 
+    def test_scenario_fields_key_fig1a_only(self, hw_settings):
+        """The aging-scenario axis is statistical configuration of the error
+        sweep: switching the family (or any of its knobs) must invalidate
+        fig1a while every level-based experiment stays warm."""
+        keys = compute_cache_keys(build_experiment_graph(hw_settings), hw_settings)
+        changed = hw_settings.with_overrides(scenario="mission")
+        keys2 = compute_cache_keys(build_experiment_graph(changed), changed)
+        assert keys2["fig1a"] != keys["fig1a"]
+        assert all(keys2[n] == keys[n] for n in keys if n != "fig1a")
+        tweaked = changed.with_overrides(mission_years=(0.0, 2.0))
+        keys3 = compute_cache_keys(build_experiment_graph(tweaked), tweaked)
+        assert keys3["fig1a"] != keys2["fig1a"]
+
     def test_seed_change_invalidates_exactly_the_reading_subtree(self, hw_settings):
         keys = compute_cache_keys(build_experiment_graph(hw_settings), hw_settings)
         reseeded = hw_settings.with_overrides(seed=99)
