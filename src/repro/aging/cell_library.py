@@ -83,6 +83,17 @@ _DEFAULT_CELL_DATA: tuple[tuple[str, int, float, float, float, float, float], ..
 _LEAKAGE_SLOPE_MV_PER_DECADE = 90.0
 
 
+def leakage_derating_factor(delta_vth_mv: float) -> float:
+    """Static-leakage multiplier at a ΔVth shift (≤ 1; exactly 1 when fresh).
+
+    The single definition of the subthreshold derating — uniformly-aged
+    libraries scale their whole-library leakage through it, and the
+    scenario-aware energy model applies it gate by gate to per-gate ΔVth
+    draws, so the two paths can never diverge.
+    """
+    return 10.0 ** (-delta_vth_mv / _LEAKAGE_SLOPE_MV_PER_DECADE)
+
+
 class CellLibrary:
     """A standard-cell library, optionally degraded to a given ΔVth level."""
 
@@ -102,7 +113,7 @@ class CellLibrary:
         self.delta_vth_mv = float(delta_vth_mv)
         self.delay_model = delay_model or AlphaPowerDelayModel()
         self._delay_scale = self.delay_model.degradation_factor(self.delta_vth_mv)
-        self._leakage_scale = 10.0 ** (-self.delta_vth_mv / _LEAKAGE_SLOPE_MV_PER_DECADE)
+        self._leakage_scale = leakage_derating_factor(self.delta_vth_mv)
         # Memoised (cell, fanout) -> delay lookups: every simulator and STA
         # engine built against this library asks for the same few hundred
         # combinations, and Monte-Carlo sweeps rebuild those engines per

@@ -71,3 +71,16 @@ class AlphaPowerDelayModel:
     def current_degradation_factor(self, delta_vth_mv: float) -> float:
         """ON-current reduction factor (``Ion_aged / Ion_fresh`` ≤ 1)."""
         return 1.0 / self.degradation_factor(delta_vth_mv)
+
+    def delta_vth_mv_for_factor(self, factor: float) -> float:
+        """Inverse of :meth:`degradation_factor`: the ΔVth (mV) that slows a
+        device by ``factor``.
+
+        A ``factor`` of 1.0 maps to a fresh device; factors below 1.0 are
+        rejected (aging never speeds a gate up).  The array-level lifetime
+        maps use this to turn a PE's timing margin (clock period over aged
+        delay) into the additional ΔVth budget it can still absorb.
+        """
+        if factor < 1.0:
+            raise ValueError("factor must be >= 1.0 (aging only slows devices)")
+        return self.overdrive_v * (1.0 - factor ** (-1.0 / self.alpha)) * 1000.0

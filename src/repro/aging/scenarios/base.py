@@ -39,10 +39,23 @@ from abc import ABC, abstractmethod
 from functools import lru_cache
 from typing import TYPE_CHECKING, ClassVar
 
+import numpy as np
+
 from repro.aging.cell_library import AgingAwareLibrarySet, CellLibrary, fresh_library
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.circuits.netlist import Gate, Netlist
+
+
+def normalize_level_mv(value: float) -> float:
+    """Canonical float for a ΔVth level: ints coerce and ``-0.0`` becomes ``0.0``.
+
+    Cache keys derived from scenario fields must not alias (``-0.0`` hashes
+    and compares equal to ``0.0`` but ``repr``s and JSON-serialises
+    differently), so every scenario family funnels its level fields through
+    this before storing them.
+    """
+    return float(value) + 0.0
 
 
 @lru_cache(maxsize=1)
@@ -72,6 +85,19 @@ class AgingScenario(ABC):
             netlist: the circuit whose gates are degraded.
             library: fresh characterisation to resolve against; defaults to
                 the scenario's bound library or :func:`default_fresh_library`.
+        """
+
+    @abstractmethod
+    def gate_delta_vth_mv(
+        self, netlist: "Netlist", library: CellLibrary | None = None
+    ) -> "np.ndarray":
+        """Per-gate ΔVth draws (mV), aligned with ``netlist.topological_gates()``.
+
+        The scenario's stress expressed as threshold shifts rather than
+        delays — what the leakage model of :mod:`repro.power.energy` and the
+        array-level lifetime maps consume.  Resolution obeys the same purity
+        contract as :meth:`gate_delays_ps`: a function of (fields, netlist
+        structure) only.
         """
 
     @abstractmethod
@@ -115,6 +141,24 @@ class AgingScenario(ABC):
         if getattr(self, "library", None) is not None:
             return self
         return dataclasses.replace(self, library=library)  # type: ignore[call-arg]
+
+
+def as_scenario(
+    source: "float | AgingScenario",
+    library: CellLibrary | None = None,
+) -> AgingScenario:
+    """Normalise a ΔVth float (the legacy contract) or scenario to a scenario.
+
+    Floats (and ints, and NumPy scalars) become :class:`UniformAging` at the
+    canonical level — so ``0``, ``0.0`` and ``-0.0`` all map to the same
+    scenario and the same cache token.  Scenarios pass through, bound to
+    ``library`` when one is given and the scenario is not already bound.
+    """
+    if isinstance(source, AgingScenario):
+        return source if library is None else source.bound_to(library)
+    from repro.aging.scenarios.uniform import UniformAging
+
+    return UniformAging(normalize_level_mv(source), library=library)
 
 
 def resolve_gate_delays(

@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.aging.cell_library import CellLibrary
-from repro.aging.scenarios.base import AgingScenario
+from repro.aging.scenarios.base import AgingScenario, normalize_level_mv
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.circuits.netlist import Gate, Netlist
@@ -62,11 +62,12 @@ class PerCellTypeAging(AgingScenario):
         if isinstance(entries, Mapping):
             entries = tuple(entries.items())
         normalized = tuple(
-            sorted((str(cell), float(level)) for cell, level in entries)
+            sorted((str(cell), normalize_level_mv(level)) for cell, level in entries)
         )
         object.__setattr__(self, "levels_mv", normalized)
         if self.default_mv < 0:
             raise ValueError("default_mv must be non-negative")
+        object.__setattr__(self, "default_mv", normalize_level_mv(self.default_mv))
         seen = set()
         for cell, level in normalized:
             if level < 0:
@@ -102,6 +103,17 @@ class PerCellTypeAging(AgingScenario):
             )
             for gate in netlist.topological_gates()
         }
+
+    def gate_delta_vth_mv(
+        self, netlist: "Netlist", library: CellLibrary | None = None
+    ) -> np.ndarray:
+        levels = dict(self.levels_mv)
+        return np.array(
+            [
+                levels.get(gate.cell_name, self.default_mv)
+                for gate in netlist.topological_gates()
+            ]
+        )
 
     def key_fields(self) -> dict[str, object]:
         return {
@@ -156,6 +168,9 @@ class VariationAging(AgingScenario):
             raise ValueError("sigma_mv must be non-negative")
         if self.seed < 0:
             raise ValueError("seed must be non-negative")
+        object.__setattr__(self, "nominal_mv", normalize_level_mv(self.nominal_mv))
+        object.__setattr__(self, "sigma_mv", normalize_level_mv(self.sigma_mv))
+        object.__setattr__(self, "seed", int(self.seed))
 
     def gate_delta_vth_mv(
         self, netlist: "Netlist", library: CellLibrary | None = None

@@ -18,9 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.aging.bti import BTIModel
 from repro.aging.cell_library import CellLibrary
-from repro.aging.scenarios.base import AgingScenario, resolve_gate_delays
+from repro.aging.scenarios.base import AgingScenario, normalize_level_mv, resolve_gate_delays
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.circuits.netlist import Gate, Netlist
@@ -57,11 +59,19 @@ class UniformAging(AgingScenario):
     def __post_init__(self) -> None:
         if self.delta_vth_mv < 0:
             raise ValueError("delta_vth_mv must be non-negative")
+        # Canonicalise the level so int and -0.0 inputs yield the same
+        # scenario, hash and cache token as their float counterparts.
+        object.__setattr__(self, "delta_vth_mv", normalize_level_mv(self.delta_vth_mv))
 
     def gate_delays_ps(
         self, netlist: "Netlist", library: CellLibrary | None = None
     ) -> "dict[Gate, float]":
         return _uniform_gate_delays(self.base_library(library), self.delta_vth_mv, netlist)
+
+    def gate_delta_vth_mv(
+        self, netlist: "Netlist", library: CellLibrary | None = None
+    ) -> np.ndarray:
+        return np.full(len(netlist.topological_gates()), self.delta_vth_mv)
 
     def key_fields(self) -> dict[str, object]:
         return {"kind": self.kind, "delta_vth_mv": float(self.delta_vth_mv)}
@@ -123,6 +133,11 @@ class MissionProfile(AgingScenario):
         return _uniform_gate_delays(
             self.base_library(library), self.nominal_delta_vth_mv, netlist
         )
+
+    def gate_delta_vth_mv(
+        self, netlist: "Netlist", library: CellLibrary | None = None
+    ) -> np.ndarray:
+        return np.full(len(netlist.topological_gates()), self.nominal_delta_vth_mv)
 
     def key_fields(self) -> dict[str, object]:
         return {

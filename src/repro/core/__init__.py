@@ -37,7 +37,9 @@ from repro.core.guardband import (
     GuardbandAnalysis,
     analyze_guardband,
     baseline_delay_trajectory,
+    compensated_delay_trajectory,
 )
+from repro.core.scenario_grid import ScenarioPlan, plan_scenario, scenario_grid
 from repro.core.pipeline import DeviceToSystemPipeline, LevelPlan
 
 __all__ = [
@@ -57,6 +59,10 @@ __all__ = [
     "GuardbandAnalysis",
     "analyze_guardband",
     "baseline_delay_trajectory",
+    "compensated_delay_trajectory",
+    "ScenarioPlan",
+    "plan_scenario",
+    "scenario_grid",
     "DeviceToSystemPipeline",
     "LevelPlan",
 ]

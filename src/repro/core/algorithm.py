@@ -21,8 +21,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.aging.cell_library import AgingAwareLibrarySet
+from repro.aging.scenarios.base import AgingScenario
 from repro.circuits.mac import ArithmeticUnit
-from repro.core.compression import CompressionChoice, select_minimal_compression
+from repro.core.compression import CompressionChoice
 from repro.core.padding import Padding
 from repro.core.timing_analysis import CompressionTiming, CompressionTimingAnalyzer
 from repro.nn.evaluate import QuantizedEvaluation, quantize_and_evaluate
@@ -83,23 +84,20 @@ class AgingAwareQuantizer:
         self.paddings = paddings
 
     # -------------------------------------------------------------- line 2-5
-    def select_compression(self, delta_vth_mv: float) -> CompressionTiming:
-        """Minimal compression whose aged delay meets the fresh clock."""
-        feasible = self.timing_analyzer.feasible_compressions(
+    def select_compression(self, delta_vth_mv: "float | AgingScenario") -> CompressionTiming:
+        """Minimal compression whose aged delay meets the fresh clock.
+
+        Accepts a ΔVth float (the uniform contract) or any
+        :class:`~repro.aging.scenarios.AgingScenario`; delegates to
+        :meth:`~repro.core.timing_analysis.CompressionTimingAnalyzer.select_timing`
+        so Algorithm 1 and the scenario-grid study share one selection rule.
+        """
+        return self.timing_analyzer.select_timing(
             delta_vth_mv,
             max_alpha=self.max_alpha,
             max_beta=self.max_beta,
             paddings=self.paddings,
         )
-        if not feasible:
-            raise RuntimeError(
-                f"no (alpha, beta) compression meets the fresh timing target at "
-                f"ΔVth={delta_vth_mv} mV; the aging level exceeds what input "
-                "compression can compensate for this MAC"
-            )
-        by_choice = {timing.choice: timing for timing in feasible}
-        selected = select_minimal_compression(list(by_choice))
-        return by_choice[selected]
 
     # -------------------------------------------------------------- line 6-9
     def quantize_model(
@@ -151,7 +149,7 @@ class AgingAwareQuantizer:
     def run(
         self,
         model: Model,
-        delta_vth_mv: float,
+        delta_vth_mv: "float | AgingScenario",
         calibration_data: np.ndarray,
         x_test: np.ndarray,
         y_test: np.ndarray,
@@ -170,7 +168,7 @@ class AgingAwareQuantizer:
             fp32_accuracy=fp32_accuracy,
         )
         return AgingAwareQuantizationResult(
-            delta_vth_mv=delta_vth_mv,
+            delta_vth_mv=timing.delta_vth_mv,
             timing=timing,
             selected_method=selected,
             evaluation=evaluation,

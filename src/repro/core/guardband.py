@@ -5,6 +5,11 @@ delay (fresh delay × aging degradation), i.e. it carries a timing guardband
 from day one.  The paper's technique instead keeps the fresh clock and
 compensates aging with input compression, so its effective delay stays at or
 below 1.0× the fresh delay for the whole lifetime.
+
+End of life is an aging point — a ΔVth float (the paper's 50 mV) or any
+:class:`~repro.aging.scenarios.AgingScenario`, so the guardband of a mission
+("7 years at 105 °C") or a variation corner sizes through the same STA path
+as the uniform contract, bit-identically for uniform scenarios.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from dataclasses import dataclass
 from collections.abc import Iterable, Mapping
 
 from repro.aging.cell_library import AgingAwareLibrarySet
+from repro.aging.scenarios.base import AgingScenario
 from repro.circuits.mac import ArithmeticUnit
 from repro.core.compression import CompressionChoice
 from repro.core.timing_analysis import CompressionTimingAnalyzer
@@ -24,13 +30,17 @@ class GuardbandAnalysis:
 
     Attributes:
         fresh_delay_ps: critical-path delay of the fresh, uncompressed MAC.
-        end_of_life_delay_ps: critical-path delay at the end-of-life ΔVth.
-        end_of_life_mv: the ΔVth level used as end of life.
+        end_of_life_delay_ps: critical-path delay at the end-of-life point.
+        end_of_life_mv: headline ΔVth of the end-of-life point (a scenario
+            reports its nominal level here).
+        scenario: the end-of-life aging scenario; ``None`` only for records
+            built by hand without one.
     """
 
     fresh_delay_ps: float
     end_of_life_delay_ps: float
     end_of_life_mv: float
+    scenario: AgingScenario | None = None
 
     @property
     def guardband_fraction(self) -> float:
@@ -50,44 +60,70 @@ class GuardbandAnalysis:
 def analyze_guardband(
     mac: ArithmeticUnit | None = None,
     library_set: AgingAwareLibrarySet | None = None,
-    end_of_life_mv: float = 50.0,
+    end_of_life_mv: "float | AgingScenario" = 50.0,
     analyzer: CompressionTimingAnalyzer | None = None,
 ) -> GuardbandAnalysis:
-    """Size the aging guardband of the uncompressed MAC."""
+    """Size the aging guardband of the uncompressed MAC.
+
+    Pass either the building blocks (``mac``/``library_set``) or an existing
+    ``analyzer`` — never both: an analyzer carries its own MAC and library
+    set, so extra building blocks would be silently ignored.
+    """
+    if analyzer is not None and (mac is not None or library_set is not None):
+        raise ValueError(
+            "pass mac/library_set or analyzer, not both: an analyzer already "
+            "carries its own MAC and library set"
+        )
     analyzer = analyzer or CompressionTimingAnalyzer(mac, library_set)
+    scenario = analyzer.scenario(end_of_life_mv)
     fresh = analyzer.fresh_period_ps()
-    end_of_life = analyzer.delay_ps(end_of_life_mv, None)
+    end_of_life = analyzer.delay_ps(scenario, None)
     return GuardbandAnalysis(
         fresh_delay_ps=fresh,
         end_of_life_delay_ps=end_of_life,
-        end_of_life_mv=end_of_life_mv,
+        end_of_life_mv=scenario.nominal_delta_vth_mv,
+        scenario=scenario,
     )
+
+
+def _axis_value(source: "float | AgingScenario") -> float:
+    """The x-axis ΔVth a trajectory reports for one aging point."""
+    if isinstance(source, AgingScenario):
+        return source.nominal_delta_vth_mv
+    return float(source)
 
 
 def baseline_delay_trajectory(
     analyzer: CompressionTimingAnalyzer,
-    levels_mv: Iterable[float],
+    levels_mv: "Iterable[float | AgingScenario]",
 ) -> list[tuple[float, float]]:
-    """Normalized delay of the uncompressed MAC over the aging levels.
+    """Normalized delay of the uncompressed MAC over the aging points.
 
     Returns ``(delta_vth_mv, delay / fresh_delay)`` pairs — the "Baseline"
-    curve of Fig. 4a.
+    curve of Fig. 4a — in the order the points are given.
     """
     fresh = analyzer.fresh_period_ps()
-    return [(level, analyzer.delay_ps(level, None) / fresh) for level in levels_mv]
+    return [
+        (_axis_value(level), analyzer.delay_ps(level, None) / fresh)
+        for level in levels_mv
+    ]
 
 
 def compensated_delay_trajectory(
     analyzer: CompressionTimingAnalyzer,
-    selections: Mapping[float, CompressionChoice],
+    selections: "Mapping[float | AgingScenario, CompressionChoice]",
 ) -> list[tuple[float, float]]:
-    """Normalized delay of the compressed MAC over the aging levels.
+    """Normalized delay of the compressed MAC over the aging points.
 
-    ``selections`` maps each ΔVth level to the compression Algorithm 1
-    selected for it — the "Ours" curve of Fig. 4a.
+    ``selections`` maps each aging point to the compression Algorithm 1
+    selected for it — the "Ours" curve of Fig. 4a.  Points are emitted in
+    the mapping's iteration order, matching
+    :func:`baseline_delay_trajectory` for the same axis (both curves used to
+    disagree for unsorted axes: the baseline preserved input order while
+    this function sorted its levels).
     """
     fresh = analyzer.fresh_period_ps()
     return [
-        (level, analyzer.delay_ps(level, choice) / fresh)
-        for level, choice in sorted(selections.items())
+        (_axis_value(level), analyzer.delay_ps(level, choice) / fresh)
+        for level, choice in selections.items()
     ]

@@ -19,11 +19,12 @@ import numpy as np
 
 from repro.aging.bti import AgingTimeline
 from repro.aging.cell_library import AgingAwareLibrarySet
+from repro.aging.scenarios.base import AgingScenario
 from repro.circuits.mac import ArithmeticUnit
 from repro.core.algorithm import AgingAwareQuantizationResult, AgingAwareQuantizer
 from repro.core.compression import CompressionChoice
 from repro.core.guardband import GuardbandAnalysis, analyze_guardband
-from repro.core.padding import Padding, compressed_input_sampler
+from repro.core.padding import compressed_input_sampler
 from repro.core.timing_analysis import CompressionTiming
 from repro.nn.model import Model
 from repro.power.energy import EnergyModel, EnergyReport
@@ -32,18 +33,22 @@ from repro.quantization.base import QuantizationMethod
 
 @dataclass(frozen=True)
 class LevelPlan:
-    """Timing decisions for one aging level.
+    """Timing decisions for one aging point.
 
     Attributes:
-        delta_vth_mv: the aging level.
+        delta_vth_mv: headline ΔVth of the aging point (a scenario reports
+            its nominal level here).
         timing: STA record of the selected compression.
-        baseline_delay_ps: delay of the *uncompressed* MAC at this level
+        baseline_delay_ps: delay of the *uncompressed* MAC at this point
             (what an unprotected NPU would need).
+        scenario: the aging scenario planned for; ``None`` only for records
+            built by hand without one.
     """
 
     delta_vth_mv: float
     timing: CompressionTiming
     baseline_delay_ps: float
+    scenario: AgingScenario | None = None
 
     @property
     def compression(self) -> CompressionChoice:
@@ -96,7 +101,10 @@ class DeviceToSystemPipeline:
             max_alpha=max_alpha,
             max_beta=max_beta,
         )
-        self._plans: dict[float, LevelPlan] = {}
+        # Plans key on the scenario cache token (canonical string), so a
+        # ΔVth float, its int twin and -0.0 all share one plan and any
+        # AgingScenario can be planned through the same cache.
+        self._plans: dict[str, LevelPlan] = {}
 
     # --------------------------------------------------------------- aliases
     @property
@@ -108,19 +116,25 @@ class DeviceToSystemPipeline:
         return self.quantizer.timing_analyzer
 
     # ------------------------------------------------------------------ plan
-    def plan_level(self, delta_vth_mv: float) -> LevelPlan:
-        """Timing phase of Algorithm 1 for one aging level (cached)."""
-        key = float(delta_vth_mv)
+    def plan_level(self, delta_vth_mv: "float | AgingScenario") -> LevelPlan:
+        """Timing phase of Algorithm 1 for one aging point (cached)."""
+        scenario = self.timing_analyzer.scenario(delta_vth_mv)
+        key = scenario.cache_token()
         if key not in self._plans:
-            timing = self.quantizer.select_compression(key)
-            baseline_delay = self.timing_analyzer.delay_ps(key, None)
+            timing = self.quantizer.select_compression(scenario)
+            baseline_delay = self.timing_analyzer.delay_ps(scenario, None)
             self._plans[key] = LevelPlan(
-                delta_vth_mv=key, timing=timing, baseline_delay_ps=baseline_delay
+                delta_vth_mv=scenario.nominal_delta_vth_mv,
+                timing=timing,
+                baseline_delay_ps=baseline_delay,
+                scenario=scenario,
             )
         return self._plans[key]
 
-    def plan(self, levels_mv: tuple[float, ...] | None = None) -> list[LevelPlan]:
-        """Timing plan for every level of the scenario (Table 2 / Fig. 4a)."""
+    def plan(
+        self, levels_mv: "tuple[float | AgingScenario, ...] | None" = None
+    ) -> list[LevelPlan]:
+        """Timing plan for every point of the scenario (Table 2 / Fig. 4a)."""
         levels = levels_mv if levels_mv is not None else self.timeline.levels_mv
         return [self.plan_level(level) for level in levels]
 
@@ -195,10 +209,10 @@ class DeviceToSystemPipeline:
                 num_transitions=num_transitions,
                 rng=rng + 2 * index,
             )
-            if level == 0:
-                choice = CompressionChoice(0, 0, Padding.MSB)
-            else:
-                choice = self.plan_level(level).compression
+            # Every level routes through the planner — the fresh (level-0)
+            # plan selects the uncompressed point anyway, and hard-coding it
+            # here let the Fig. 5 curve silently diverge from the planner.
+            choice = self.plan_level(level).compression
             sampler = compressed_input_sampler(self.mac, choice.alpha, choice.beta, choice.padding)
             compressed = energy_model.estimate_operation_energy(
                 self.mac,

@@ -1,0 +1,151 @@
+"""The scenario-grid study: Algorithm 1's timing phase over a scenario axis.
+
+PR 5 taught every timing engine to resolve :class:`~repro.aging.scenarios.
+AgingScenario` objects; this module points the paper's decision layer at
+them.  For every scenario of an axis — uniform ΔVth levels, mission
+profiles, per-cell-type stress, per-gate variation seeds — the study runs
+the feasible-compression search (all (α, β, padding) corners batched into
+**one** levelized STA pass per scenario through
+:meth:`~repro.core.timing_analysis.CompressionTimingAnalyzer.delays_ps`),
+selects the minimal feasible compression, and sizes the guardband an
+unprotected baseline would need at that scenario.
+
+For a uniform axis the study is bit-identical to
+:meth:`~repro.core.pipeline.DeviceToSystemPipeline.plan` over the same ΔVth
+levels: both paths resolve ``fresh.aged(level)`` delay tables and share one
+selection rule (property-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+from repro.aging.cell_library import AgingAwareLibrarySet
+from repro.aging.scenarios.base import AgingScenario
+from repro.circuits.mac import ArithmeticUnit
+from repro.core.compression import CompressionChoice
+from repro.core.guardband import GuardbandAnalysis
+from repro.core.padding import Padding
+from repro.core.timing_analysis import CompressionTiming, CompressionTimingAnalyzer
+
+
+@dataclass(frozen=True)
+class ScenarioPlan:
+    """Timing phase + guardband sizing for one scenario of the grid.
+
+    Attributes:
+        scenario: the aging scenario planned for.
+        timing: STA record of the selected (minimal feasible) compression.
+        baseline_delay_ps: delay of the *uncompressed* MAC under the
+            scenario (what an unprotected NPU would need to clock at).
+        feasible_count: number of feasible (α, β, padding) corners — how
+            much slack the compression space still has at this scenario.
+    """
+
+    scenario: AgingScenario
+    timing: CompressionTiming
+    baseline_delay_ps: float
+    feasible_count: int
+
+    @property
+    def compression(self) -> CompressionChoice:
+        return self.timing.choice
+
+    @property
+    def nominal_delta_vth_mv(self) -> float:
+        return self.scenario.nominal_delta_vth_mv
+
+    @property
+    def fresh_delay_ps(self) -> float:
+        """The timing target: fresh uncompressed critical-path delay."""
+        return self.timing.target_period_ps
+
+    @property
+    def normalized_baseline_delay(self) -> float:
+        return self.baseline_delay_ps / self.fresh_delay_ps
+
+    @property
+    def normalized_compensated_delay(self) -> float:
+        return self.timing.normalized_delay
+
+    @property
+    def guardband(self) -> GuardbandAnalysis:
+        """Guardband the unprotected baseline needs at this scenario."""
+        return GuardbandAnalysis(
+            fresh_delay_ps=self.fresh_delay_ps,
+            end_of_life_delay_ps=self.baseline_delay_ps,
+            end_of_life_mv=self.scenario.nominal_delta_vth_mv,
+            scenario=self.scenario,
+        )
+
+    @property
+    def guardband_percent(self) -> float:
+        return self.guardband.guardband_percent
+
+    def label(self) -> str:
+        return self.scenario.label()
+
+
+def plan_scenario(
+    analyzer: CompressionTimingAnalyzer,
+    scenario: "float | AgingScenario",
+    max_alpha: int | None = None,
+    max_beta: int | None = None,
+    paddings: Iterable[Padding] = (Padding.MSB, Padding.LSB),
+) -> ScenarioPlan:
+    """Timing phase of Algorithm 1 + guardband sizing for one scenario.
+
+    All compression corners evaluate in one levelized STA pass; the
+    selection rule is the analyzer's
+    :meth:`~repro.core.timing_analysis.CompressionTimingAnalyzer.select_timing`,
+    shared with :class:`~repro.core.algorithm.AgingAwareQuantizer` so the
+    grid can never diverge from Algorithm 1.
+    """
+    resolved = analyzer.scenario(scenario)
+    feasible = analyzer.feasible_compressions(
+        resolved, max_alpha=max_alpha, max_beta=max_beta, paddings=paddings
+    )
+    # Delay corners are already cached, so re-entering the search through
+    # select_timing costs dict lookups only — worth it for one shared rule.
+    timing = analyzer.select_timing(
+        resolved, max_alpha=max_alpha, max_beta=max_beta, paddings=paddings
+    )
+    baseline_delay = analyzer.delay_ps(resolved, None)
+    return ScenarioPlan(
+        scenario=resolved,
+        timing=timing,
+        baseline_delay_ps=baseline_delay,
+        feasible_count=len(feasible),
+    )
+
+
+def scenario_grid(
+    scenarios: "Sequence[float | AgingScenario]",
+    mac: ArithmeticUnit | None = None,
+    library_set: AgingAwareLibrarySet | None = None,
+    analyzer: CompressionTimingAnalyzer | None = None,
+    max_alpha: int | None = None,
+    max_beta: int | None = None,
+    paddings: Iterable[Padding] = (Padding.MSB, Padding.LSB),
+) -> list[ScenarioPlan]:
+    """Run the timing phase + guardband over a (scenario × corner) grid.
+
+    One :class:`ScenarioPlan` per scenario, in input order.  Pass either the
+    building blocks (``mac``/``library_set``) or an existing ``analyzer`` —
+    never both (mirrors :func:`~repro.core.guardband.analyze_guardband`).
+    The shared analyzer caches per-scenario STA engines and corner delays,
+    so repeated scenarios (and the fresh timing target) are free.
+    """
+    if analyzer is not None and (mac is not None or library_set is not None):
+        raise ValueError(
+            "pass mac/library_set or analyzer, not both: an analyzer already "
+            "carries its own MAC and library set"
+        )
+    analyzer = analyzer or CompressionTimingAnalyzer(mac, library_set)
+    return [
+        plan_scenario(
+            analyzer, scenario, max_alpha=max_alpha, max_beta=max_beta, paddings=paddings
+        )
+        for scenario in scenarios
+    ]

@@ -32,6 +32,7 @@ from repro.experiments.fig2_mac_delay import run_fig2
 from repro.experiments.fig4_delay_accuracy import run_fig4a, run_fig4b
 from repro.experiments.fig5_energy import run_fig5
 from repro.experiments.reporting import ExperimentResult
+from repro.experiments.scenario_study import run_scenario_sweep
 from repro.experiments.settings import ExperimentSettings
 from repro.experiments.table1_accuracy import run_table1
 from repro.experiments.table2_compression import run_table2
@@ -48,6 +49,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig4a": run_fig4a,
     "fig4b": run_fig4b,
     "fig5": run_fig5,
+    "scenario_sweep": run_scenario_sweep,
     "ablation_surrogate": run_surrogate_ablation,
     "ablation_precision_scaling": run_precision_scaling_ablation,
 }

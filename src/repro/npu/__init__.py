@@ -5,10 +5,20 @@ MAC units analysed by the circuit substrate.  The NPU model translates the
 MAC-level clock period (from STA, with or without guardbands and input
 compression) into inference-level latency and throughput numbers, which is
 how the paper's "23 % higher performance" headline is obtained.
+:mod:`repro.npu.scenario_map` scales the per-gate scenario API to the whole
+array: one seeded aging scenario per PE, mapped into array-level delay,
+energy, margin and lifetime grids.
 """
 
 from repro.npu.systolic import LayerWorkload, SystolicArray, model_workloads
 from repro.npu.performance import NpuPerformanceModel, InferenceLatency
+from repro.npu.scenario_map import (
+    ArrayScenarioMap,
+    PERecord,
+    array_scenario_map,
+    array_variation_scenarios,
+    pe_seed,
+)
 
 __all__ = [
     "LayerWorkload",
@@ -16,4 +26,9 @@ __all__ = [
     "model_workloads",
     "NpuPerformanceModel",
     "InferenceLatency",
+    "ArrayScenarioMap",
+    "PERecord",
+    "array_scenario_map",
+    "array_variation_scenarios",
+    "pe_seed",
 ]

@@ -29,6 +29,12 @@ from repro.experiments.fig1b_error_injection import run_fig1b
 from repro.experiments.fig2_mac_delay import run_fig2
 from repro.experiments.fig4_delay_accuracy import run_fig4a, run_fig4b
 from repro.experiments.fig5_energy import run_fig5
+from repro.experiments.scenario_study import (
+    scenario_point_row,
+    scenario_token,
+    sweep_result,
+    unique_scenarios,
+)
 from repro.experiments.settings import ExperimentSettings
 from repro.experiments.table1_accuracy import run_table1
 from repro.experiments.table2_compression import run_table2
@@ -45,6 +51,7 @@ EXPERIMENT_NAMES: tuple[str, ...] = (
     "fig4a",
     "fig4b",
     "fig5",
+    "scenario_sweep",
     "ablation_surrogate",
     "ablation_precision_scaling",
 )
@@ -238,6 +245,38 @@ def build_experiment_graph(settings: ExperimentSettings) -> TaskGraph:
             settings_fields=("seed", "aging_levels_mv", "energy_transitions"),
         )
     )
+    # -------------------------------------------- scenario-sweep task family
+    # One task per point of the settings' scenario axis.  The scenario's key
+    # fields live in the task *name* (a fingerprint of its cache token), so
+    # they participate in the artifact cache key: extending or reordering
+    # the axis invalidates only the aggregate, never a finished point, and a
+    # fully warm rerun of ``scenario_sweep`` prunes the whole family.
+    axis = unique_scenarios(settings.aging_scenarios())
+    point_names = tuple(f"scenario_point:{scenario_token(scenario)}" for scenario in axis)
+    for point_name, scenario in zip(point_names, axis):
+        graph.add(
+            Task(
+                point_name,
+                # Bind the loop variable; the row helper binds the (unbound)
+                # scenario to the workspace library set's fresh library.
+                lambda ctx, s=scenario: scenario_point_row(ctx.workspace, s),
+                depends=("pipeline",),
+                settings_fields=("max_alpha", "max_beta"),
+                kind=PRODUCT,
+                serializer=PICKLE_FORMAT,
+            )
+        )
+    graph.add(
+        Task(
+            "scenario_sweep",
+            lambda ctx, names=point_names: sweep_result(
+                [ctx.artifact(name) for name in names], ctx.settings
+            ),
+            depends=point_names,
+            settings_fields=("scenario",),
+        )
+    )
+
     graph.add(
         Task(
             "ablation_surrogate",

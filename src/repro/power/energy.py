@@ -1,10 +1,21 @@
-"""Energy model combining switching activity and cell characterisation."""
+"""Energy model combining switching activity and cell characterisation.
+
+The model prices a circuit's activity under a delay source: a plain
+:class:`~repro.aging.cell_library.CellLibrary` (the uniform contract — one
+leakage derating for the whole library) or an
+:class:`~repro.aging.scenarios.AgingScenario`, whose per-gate ΔVth draws
+derate each gate's leakage individually through the same
+:func:`~repro.aging.cell_library.leakage_derating_factor`.  Switching energy
+is aging-independent in this characterisation, so for a uniform scenario the
+two paths run the identical float operations and report bit-identical energy.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.aging.cell_library import CellLibrary
+from repro.aging.cell_library import CellLibrary, leakage_derating_factor
+from repro.aging.scenarios.base import AgingScenario
 from repro.circuits.mac import ArithmeticUnit
 from repro.circuits.netlist import Netlist
 from repro.power.switching import InputSampler, SwitchingActivity, estimate_switching_activity
@@ -43,10 +54,34 @@ class EnergyReport:
 
 
 class EnergyModel:
-    """Estimate per-operation energy of a circuit under a given cell library."""
+    """Estimate per-operation energy of a circuit under a delay source."""
 
-    def __init__(self, library: CellLibrary) -> None:
-        self.library = library
+    def __init__(self, library: "CellLibrary | AgingScenario") -> None:
+        if isinstance(library, AgingScenario):
+            self.scenario: AgingScenario | None = library
+            #: The fresh characterisation the scenario derates gate by gate.
+            self.library = library.base_library()
+        elif isinstance(library, CellLibrary):
+            self.scenario = None
+            self.library = library
+        else:
+            raise TypeError(
+                f"expected a CellLibrary or AgingScenario, got {type(library).__name__}"
+            )
+
+    def _gate_leakage_nw(self, netlist: Netlist) -> "dict[object, float]":
+        """Per-gate static leakage (nW) under the model's delay source."""
+        if self.scenario is None:
+            return {
+                gate: self.library.leakage_power_nw(gate.cell_name)
+                for gate in netlist.gates
+            }
+        deltas = self.scenario.gate_delta_vth_mv(netlist, self.library)
+        return {
+            gate: self.library.cell(gate.cell_name).leakage_power_nw
+            * leakage_derating_factor(float(delta))
+            for gate, delta in zip(netlist.topological_gates(), deltas)
+        }
 
     def energy_from_activity(
         self,
@@ -58,12 +93,13 @@ class EnergyModel:
         if clock_period_ps <= 0:
             raise ValueError("clock_period_ps must be positive")
         netlist = target.netlist if isinstance(target, ArithmeticUnit) else target
+        gate_leakage = self._gate_leakage_nw(netlist)
         dynamic_fj = 0.0
         leakage_nw = 0.0
         for gate in netlist.gates:
             toggles = activity.toggles_per_gate.get(gate.name, 0)
             dynamic_fj += toggles * self.library.switching_energy_fj(gate.cell_name)
-            leakage_nw += self.library.leakage_power_nw(gate.cell_name)
+            leakage_nw += gate_leakage[gate]
         leakage_fj = leakage_nw * clock_period_ps * activity.num_transitions * _NW_PS_TO_FJ
         return EnergyReport(
             dynamic_energy_fj=dynamic_fj,
@@ -79,18 +115,23 @@ class EnergyModel:
         num_transitions: int = 500,
         rng: "int | None" = None,
         input_sampler: InputSampler | None = None,
+        activity: SwitchingActivity | None = None,
     ) -> EnergyReport:
         """Simulate random traffic through ``target`` and report its energy.
 
         The ``input_sampler`` controls the operand distribution; the Fig. 5
         experiment compares full-range 8-bit operands (baseline, guardbanded
         clock) against operands restricted to the compressed quantized ranges
-        (our technique, fresh clock).
+        (our technique, fresh clock).  Pass a precomputed ``activity`` to
+        price the same traffic under many delay sources without re-simulating
+        (logic values are aging-independent, so array-scale scenario maps
+        simulate once and share the activity across every PE).
         """
-        activity = estimate_switching_activity(
-            target,
-            num_transitions=num_transitions,
-            rng=rng,
-            input_sampler=input_sampler,
-        )
+        if activity is None:
+            activity = estimate_switching_activity(
+                target,
+                num_transitions=num_transitions,
+                rng=rng,
+                input_sampler=input_sampler,
+            )
         return self.energy_from_activity(target, activity, clock_period_ps)

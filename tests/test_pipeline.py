@@ -168,15 +168,27 @@ class TestCacheKeys:
         assert keys2["fig1a"] != keys["fig1a"]
         assert all(keys2[n] == keys[n] for n in keys if n != "fig1a")
 
-    def test_scenario_fields_key_fig1a_only(self, hw_settings):
-        """The aging-scenario axis is statistical configuration of the error
-        sweep: switching the family (or any of its knobs) must invalidate
-        fig1a while every level-based experiment stays warm."""
+    @staticmethod
+    def _scenario_family(keys: "dict[str, str]") -> set[str]:
+        return {
+            name
+            for name in keys
+            if name == "scenario_sweep" or name.startswith("scenario_point:")
+        }
+
+    def test_scenario_fields_key_the_scenario_readers_only(self, hw_settings):
+        """The aging-scenario axis is statistical configuration of its
+        readers: switching the family (or any of its knobs) must invalidate
+        fig1a and the scenario_sweep point family (whose task *names* follow
+        the axis) while every level-based experiment stays warm."""
         keys = compute_cache_keys(build_experiment_graph(hw_settings), hw_settings)
         changed = hw_settings.with_overrides(scenario="mission")
         keys2 = compute_cache_keys(build_experiment_graph(changed), changed)
         assert keys2["fig1a"] != keys["fig1a"]
-        assert all(keys2[n] == keys[n] for n in keys if n != "fig1a")
+        assert self._scenario_family(keys2) != self._scenario_family(keys)
+        stable = set(keys) - {"fig1a"} - self._scenario_family(keys)
+        assert stable == set(keys2) - {"fig1a"} - self._scenario_family(keys2)
+        assert all(keys2[n] == keys[n] for n in stable)
         tweaked = changed.with_overrides(mission_years=(0.0, 2.0))
         keys3 = compute_cache_keys(build_experiment_graph(tweaked), tweaked)
         assert keys3["fig1a"] != keys2["fig1a"]
