@@ -22,7 +22,9 @@ import math
 from dataclasses import dataclass
 from collections.abc import Iterable, Mapping
 
-from repro.aging.delay_model import AlphaPowerDelayModel
+import numpy as np
+
+from repro.aging.delay_model import _LIBM_POW, AlphaPowerDelayModel
 
 
 @dataclass(frozen=True)
@@ -92,6 +94,17 @@ def leakage_derating_factor(delta_vth_mv: float) -> float:
     draws, so the two paths can never diverge.
     """
     return 10.0 ** (-delta_vth_mv / _LEAKAGE_SLOPE_MV_PER_DECADE)
+
+
+def leakage_derating_factors(delta_vth_mv: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`leakage_derating_factor` over an array of ΔVth (mV).
+
+    Bit-identical to the scalar function per element (libm ``pow`` through
+    :data:`~repro.aging.delay_model._LIBM_POW`, exact negate/divide), so the
+    batched energy path and the per-gate Python loop can never diverge.
+    """
+    deltas = np.asarray(delta_vth_mv, dtype=float)
+    return _LIBM_POW(10.0, -deltas / _LEAKAGE_SLOPE_MV_PER_DECADE).astype(float)
 
 
 class CellLibrary:

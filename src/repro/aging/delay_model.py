@@ -15,7 +15,16 @@ guardband the paper reports in Fig. 4a for the 14nm FinFET MAC.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+
+import numpy as np
+
+#: Elementwise libm ``pow``.  ``np.power`` on float64 arrays is allowed to
+#: differ from scalar ``**`` by an ulp; routing every element through
+#: ``math.pow`` keeps vectorised degradation tables bit-identical to the
+#: scalar :meth:`AlphaPowerDelayModel.degradation_factor` chain.
+_LIBM_POW = np.frompyfunc(math.pow, 2, 1)
 
 
 @dataclass(frozen=True)
@@ -63,6 +72,25 @@ class AlphaPowerDelayModel:
                 f"({self.max_delta_vth_mv():.1f} mV); the device no longer switches"
             )
         return (self.overdrive_v / remaining) ** self.alpha
+
+    def degradation_factors(self, delta_vth_mv: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`degradation_factor` over an array of ΔVth (mV).
+
+        Bit-identical to calling the scalar method per element: division and
+        subtraction are exact IEEE operations, and the final power goes
+        through libm ``pow`` elementwise (scalar ``**`` and ``math.pow``
+        agree; ``np.power`` does not always).
+        """
+        deltas = np.asarray(delta_vth_mv, dtype=float)
+        if deltas.size and float(deltas.min()) < 0:
+            raise ValueError("delta_vth_mv must be non-negative")
+        remaining = self.overdrive_v - deltas / 1000.0
+        if deltas.size and float(remaining.min()) <= 0:
+            raise ValueError(
+                f"a delta_vth_mv entry exceeds the available overdrive "
+                f"({self.max_delta_vth_mv():.1f} mV); the device no longer switches"
+            )
+        return _LIBM_POW(self.overdrive_v / remaining, self.alpha).astype(float)
 
     def delay_increase_percent(self, delta_vth_mv: float) -> float:
         """Delay increase in percent relative to the fresh device."""

@@ -24,7 +24,9 @@ from repro.aging.scenarios.base import (
     AgingScenario,
     AgingScenarioSet,
     default_fresh_library,
+    gate_delay_columns,
     nominal_delta_vth_mv,
+    resolve_gate_delay_columns,
     resolve_gate_delays,
 )
 from repro.aging.scenarios.heterogeneous import PerCellTypeAging, VariationAging
@@ -47,6 +49,8 @@ __all__ = [
     "UniformAging",
     "VariationAging",
     "default_fresh_library",
+    "gate_delay_columns",
     "nominal_delta_vth_mv",
+    "resolve_gate_delay_columns",
     "resolve_gate_delays",
 ]

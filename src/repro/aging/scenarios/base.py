@@ -188,6 +188,61 @@ def resolve_gate_delays(
     }
 
 
+def gate_delay_columns(
+    netlist: "Netlist",
+    library: CellLibrary,
+    delta_vth_mv: "np.ndarray",
+) -> "np.ndarray":
+    """Vectorised per-gate delay table(s) from per-gate ΔVth draws.
+
+    ``delta_vth_mv`` is ``(gates,)`` or ``(gates, scenarios)``, rows aligned
+    with ``netlist.topological_gates()``; the result has the same shape and
+    holds aged delays in ps.  Every scenario family resolves a gate's delay
+    as ``fresh_delay(cell, fanout) * degradation_factor(ΔVth)``, so one fresh
+    delay vector times a libm-pow factor table reproduces the scalar
+    :func:`resolve_gate_delays` chain bit for bit — that is what lets per-PE
+    scenarios ride :func:`~repro.circuits.backends.lane.corner_case_delays`
+    as corner columns.
+    """
+    deltas = np.asarray(delta_vth_mv, dtype=float)
+    order = netlist.topological_gates()
+    if deltas.ndim not in (1, 2) or deltas.shape[0] != len(order):
+        raise ValueError(
+            f"delta_vth_mv must be (gates,) or (gates, scenarios) with "
+            f"gates={len(order)}, got shape {deltas.shape}"
+        )
+    fresh = library if library.is_fresh else library.aged(0.0)
+    fresh_delays = np.array(
+        [fresh.delay_ps(gate.cell_name, fanout=gate.output.fanout) for gate in order]
+    )
+    factors = fresh.delay_model.degradation_factors(deltas)
+    if deltas.ndim == 2:
+        return fresh_delays[:, None] * factors
+    return fresh_delays * factors
+
+
+def resolve_gate_delay_columns(
+    netlist: "Netlist",
+    scenarios: "tuple[AgingScenario, ...] | list[AgingScenario]",
+    library: CellLibrary | None = None,
+) -> "np.ndarray":
+    """Stack scenarios into a ``(gates, scenarios)`` delay matrix.
+
+    Each column is bit-identical to the per-gate table the corresponding
+    scenario's :meth:`AgingScenario.gate_delays_ps` resolves (in topological
+    gate order).  All scenarios resolve against one shared fresh base —
+    ``library`` when given, else the first scenario's base.
+    """
+    entries = [as_scenario(scenario, library) for scenario in scenarios]
+    if not entries:
+        raise ValueError("resolve_gate_delay_columns needs at least one scenario")
+    base = entries[0].base_library(library)
+    deltas = np.stack(
+        [scenario.gate_delta_vth_mv(netlist, base) for scenario in entries], axis=1
+    )
+    return gate_delay_columns(netlist, base, deltas)
+
+
 def nominal_delta_vth_mv(source: "CellLibrary | AgingScenario") -> float:
     """Headline ΔVth of a delay source (library level or scenario nominal)."""
     if isinstance(source, AgingScenario):

@@ -16,12 +16,14 @@ from repro.circuits.backends.base import (
 )
 from repro.circuits.backends.bigint import BigintBackend
 from repro.circuits.backends.lane import (
+    GRAPH_LAYOUTS,
     LaneBackend,
     LaneTimedEvaluation,
     LaneTimingSimulator,
     LevelizedGraph,
     corner_case_delays,
     levelized_graph,
+    levelized_graph_cache_stats,
 )
 from repro.circuits.backends.registry import (
     BACKEND_ALIASES,
@@ -41,6 +43,7 @@ NDARRAY_BACKEND = register_backend(LaneBackend())
 __all__ = [
     "BACKEND_ALIASES",
     "BIGINT_BACKEND",
+    "GRAPH_LAYOUTS",
     "LANE_BACKEND_MIN_LANES",
     "NDARRAY_BACKEND",
     "SCALAR_BACKEND",
@@ -58,6 +61,7 @@ __all__ = [
     "corner_case_delays",
     "get_backend",
     "levelized_graph",
+    "levelized_graph_cache_stats",
     "register_backend",
     "resolve_backend",
 ]

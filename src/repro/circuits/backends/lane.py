@@ -22,11 +22,27 @@ Gates are scheduled by :class:`LevelizedGraph` in two granularities:
   last input row, which is a no-op under ``max``/``or`` and keeps the
   whole level on one gather per pin regardless of the cell mix.
 
-Dead lanes (the tail of the last machine word when ``lanes`` is not a
-multiple of 64) are allowed to carry garbage: they are seeded identically
-in the previous- and current-vector passes, so XOR-derived perturbation and
-transition masks are zero there, and every bit that leaves the backend is
-masked through :func:`repro.utils.bitops.lane_array_to_bits`.
+Row numbering (``layout``)
+--------------------------
+
+Two net numberings share the same schedule machinery:
+
+* ``"creation"`` numbers nets in netlist creation order — the historical
+  layout, kept verbatim as the comparison baseline.  Every level step
+  gathers *and scatters* through fancy index arrays, and each scatter
+  target is freshly allocated.
+* ``"level"`` (the default) numbers the non-driven source nets first (in
+  creation order, so input-bus rows stay contiguous) and then each level's
+  gate outputs as one contiguous block, cell-type groups back to back.
+  Under this numbering every level's output rows are exactly
+  ``arange(start, stop)``, so the kernels compute **directly into a slice
+  view of the arrival/value arrays** (no per-level scatter, no per-level
+  allocation — gathers stream into a reused scratch buffer) and scatters
+  at the bus pack/unpack boundary become slice writes.  Values and
+  arrivals live in the permuted layout end to end; only
+  ``input_bus_rows``/``output_bus_rows`` translate at the boundary, so
+  :class:`LaneTimedEvaluation` and every other consumer see bit-identical
+  results regardless of layout (property-tested).
 
 Arrival propagation
 -------------------
@@ -36,9 +52,11 @@ perturbation and value-change masks as ``(nets, lanes)`` booleans.  The
 corner-batched STA pass of :func:`corner_case_delays` runs arrival vectors
 of shape ``(nets, corners)`` through the identical
 :meth:`LevelizedGraph.max_plus_pass` schedule — one levelized traversal
-covers a whole corners (or lanes) batch, which is what
-:meth:`repro.timing.sta.StaticTimingAnalyzer.case_analysis_delays` and the
-batched settle/transition models now share.
+covers a whole corners (or lanes) batch.  Corners may share one delay
+table (a ``{gate: delay}`` mapping) or carry **per-corner delay columns**
+(a ``(gates, corners)`` matrix aligned with ``topological_gates()``),
+which is how per-PE aging scenarios of a whole accelerator array batch
+into a single pass (:func:`repro.timing.sta.scenario_case_delays`).
 """
 
 from __future__ import annotations
@@ -62,6 +80,19 @@ from repro.utils.bitops import (
     lane_word_count,
 )
 
+#: The two supported net numberings (see the module docstring).
+GRAPH_LAYOUTS = ("level", "creation")
+
+
+def _as_slice(rows: np.ndarray) -> "slice | None":
+    """``slice(start, stop)`` when ``rows`` is consecutive ascending, else None."""
+    if rows.size == 0:
+        return slice(0, 0)
+    if rows.size == 1 or bool(np.all(np.diff(rows) == 1)):
+        start = int(rows[0])
+        return slice(start, start + rows.size)
+    return None
+
 
 @dataclass(frozen=True)
 class ValueGroup:
@@ -70,12 +101,20 @@ class ValueGroup:
     Attributes:
         cell_name: the shared standard cell of the group.
         input_rows: per input pin, the ``(size,)`` net-row indices.
+        input_slices: per input pin, the equivalent slice when the pin's
+            rows are contiguous (a view-read instead of a gather), else
+            ``None``.
         output_rows: ``(size,)`` net-row indices of the gate outputs.
+        output_slice: the equivalent slice when the output rows are
+            contiguous (always, under the ``"level"`` layout), else
+            ``None``.
     """
 
     cell_name: str
     input_rows: tuple[np.ndarray, ...]
+    input_slices: "tuple[slice | None, ...]"
     output_rows: np.ndarray
+    output_slice: "slice | None"
 
 
 @dataclass(frozen=True)
@@ -83,24 +122,40 @@ class LevelPlan:
     """One logic level of the schedule.
 
     Attributes:
-        gates: the member gates in topological-order of appearance (the
-            order every per-gate vector — e.g. delays — must follow).
+        gates: the member gates in schedule order (the order every
+            per-gate vector — e.g. delays — must follow).  Under the
+            ``"level"`` layout the gates are grouped by cell type so their
+            output rows form one ascending run.
         value_groups: per cell type, the gather/scatter plan for value
             evaluation.
         padded_input_rows: ``(max_arity, size)`` input net rows for the
             cell-agnostic arrival step; gates with fewer inputs repeat
             their last input (idempotent under max/or).
         output_rows: ``(size,)`` output net rows of the whole level.
+        output_slice: the contiguous equivalent of ``output_rows`` (always
+            present under the ``"level"`` layout), enabling in-place
+            slice-view computation instead of gather + scatter.
         structural_outputs: ``(size,)`` bool, True for outputs forced to a
             structural constant (they never transition and must not
             contribute arrival time).
+        join_segments: runs of gates whose pin-0 *and* pin-1 rows both
+            advance by one row per gate — ``(dst_start, dst_stop, src0,
+            src1)`` offsets, ``dst`` relative to the level's output block.
+            Within a segment the two-pin max is a pure slice-view ufunc
+            (no gather copy, no scratch), which is the level layout's
+            whole point: it reads each input row once and writes each
+            output row once.  Covers the entire level (a single gate is a
+            length-1 segment); pins beyond the second fall back to
+            gathers.
     """
 
     gates: tuple[Gate, ...]
     value_groups: tuple[ValueGroup, ...]
     padded_input_rows: np.ndarray
     output_rows: np.ndarray
+    output_slice: "slice | None"
     structural_outputs: np.ndarray
+    join_segments: tuple[tuple[int, int, int, int], ...]
 
 
 class LevelizedGraph:
@@ -111,9 +166,17 @@ class LevelizedGraph:
     level).  Levels are emitted in order, so by the time a level runs,
     every input row it gathers has been written — the vectorised
     equivalent of the topological gate order.
+
+    ``layout`` selects the net-row numbering: ``"level"`` (default) packs
+    each level's outputs into a contiguous block so the hot kernels write
+    straight into slice views; ``"creation"`` is the historical
+    creation-order numbering, kept as the measured baseline.
     """
 
-    def __init__(self, netlist: Netlist) -> None:
+    def __init__(self, netlist: Netlist, layout: str = "level") -> None:
+        if layout not in GRAPH_LAYOUTS:
+            raise ValueError(f"layout must be one of {GRAPH_LAYOUTS}, got {layout!r}")
+        self.layout = layout
         # Deliberately no reference to the Netlist itself: the graph is the
         # *value* of a WeakKeyDictionary keyed by the netlist, and a strong
         # value->key reference would make cache entries immortal.  Net and
@@ -122,14 +185,8 @@ class LevelizedGraph:
         self._input_buses = dict(netlist.input_buses)
         order = netlist.topological_gates()
         nets = list(netlist.nets.values())
-        self.nets = nets
         self.num_nets = len(nets)
-        self.net_row = {net: row for row, net in enumerate(nets)}
-
-        structural = propagate_constants(netlist)
-        self.structural_rows = np.zeros(self.num_nets, dtype=bool)
-        for net in structural:
-            self.structural_rows[self.net_row[net]] = True
+        self.num_gates = len(order)
 
         #: Widest gate arity in the netlist: the row count of every level's
         #: padded input matrix, so new wider cells extend the schedule
@@ -147,26 +204,70 @@ class LevelizedGraph:
         for gate in order:
             by_level.setdefault(depth[gate], []).append(gate)
 
-        self.levels: list[LevelPlan] = []
+        # Per-level gate order and cell grouping.  The "level" layout walks
+        # cell groups back to back so each group's (and each level's) output
+        # rows can be numbered as one ascending run; the "creation" layout
+        # keeps the historical appearance order.
+        level_groups: list[list[tuple[str, list[Gate]]]] = []
+        level_gates: list[list[Gate]] = []
         for _, gates in sorted(by_level.items()):
             by_cell: dict[str, list[Gate]] = {}
             for gate in gates:
                 by_cell.setdefault(gate.cell_name, []).append(gate)
+            groups = list(by_cell.items())
+            level_groups.append(groups)
+            if layout == "level":
+                level_gates.append([g for _, members in groups for g in members])
+            else:
+                level_gates.append(gates)
+
+        if layout == "level":
+            self.net_row: dict[object, int] = {}
+            row = 0
+            for net in nets:  # sources first, in creation order
+                if net.driver is None:
+                    self.net_row[net] = row
+                    row += 1
+            self.num_source_rows = row
+            for gates in level_gates:
+                for gate in gates:
+                    self.net_row[gate.output] = row
+                    row += 1
+            assert row == self.num_nets, "every net is a source or one gate's output"
+        else:
+            self.net_row = {net: row for row, net in enumerate(nets)}
+            self.num_source_rows = self.num_nets  # no contiguity guarantee
+
+        #: Creation-order net -> row: the layout permutation (identity for
+        #: the creation layout).  A bijection over ``range(num_nets)``.
+        self.row_permutation = np.array(
+            [self.net_row[net] for net in nets], dtype=np.intp
+        )
+
+        structural = propagate_constants(netlist)
+        self.structural_rows = np.zeros(self.num_nets, dtype=bool)
+        for net in structural:
+            self.structural_rows[self.net_row[net]] = True
+
+        self.levels: list[LevelPlan] = []
+        for gates, groups in zip(level_gates, level_groups):
             value_groups = tuple(
                 ValueGroup(
                     cell_name=cell_name,
-                    input_rows=tuple(
+                    input_rows=(input_rows := tuple(
                         np.array(
                             [self.net_row[gate.inputs[pin]] for gate in members],
                             dtype=np.intp,
                         )
                         for pin in range(len(members[0].inputs))
-                    ),
-                    output_rows=np.array(
+                    )),
+                    input_slices=tuple(_as_slice(rows) for rows in input_rows),
+                    output_rows=(output_rows := np.array(
                         [self.net_row[gate.output] for gate in members], dtype=np.intp
-                    ),
+                    )),
+                    output_slice=_as_slice(output_rows),
                 )
-                for cell_name, members in by_cell.items()
+                for cell_name, members in groups
             )
             padded = np.array(
                 [
@@ -178,27 +279,99 @@ class LevelizedGraph:
             output_rows = np.array(
                 [self.net_row[gate.output] for gate in gates], dtype=np.intp
             )
+            rows0 = padded[0]
+            rows1 = padded[1] if self.max_arity >= 2 else padded[0]
+            segments: list[tuple[int, int, int, int]] = []
+            start = 0
+            for gate_index in range(1, len(gates) + 1):
+                if (
+                    gate_index == len(gates)
+                    or rows0[gate_index] != rows0[gate_index - 1] + 1
+                    or rows1[gate_index] != rows1[gate_index - 1] + 1
+                ):
+                    segments.append(
+                        (start, gate_index, int(rows0[start]), int(rows1[start]))
+                    )
+                    start = gate_index
             self.levels.append(
                 LevelPlan(
                     gates=tuple(gates),
                     value_groups=value_groups,
                     padded_input_rows=padded,
                     output_rows=output_rows,
+                    output_slice=_as_slice(output_rows),
                     structural_outputs=self.structural_rows[output_rows],
+                    join_segments=tuple(segments),
                 )
             )
+        self.max_level_size = max((len(plan.gates) for plan in self.levels), default=1)
+
+        # Per-level topological gate indices: the row selector that turns a
+        # (gates, corners) delay matrix (aligned with topological_gates())
+        # into per-level delay columns.
+        topo_index = {gate: index for index, gate in enumerate(order)}
+        self.level_topo_indices = [
+            np.array([topo_index[gate] for gate in plan.gates], dtype=np.intp)
+            for plan in self.levels
+        ]
 
         self.constant_one_rows = np.array(
-            [row for row, net in enumerate(nets) if net.is_constant and net.constant_value == 1],
+            [
+                self.net_row[net]
+                for net in nets
+                if net.is_constant and net.constant_value == 1
+            ],
             dtype=np.intp,
         )
         self.input_bus_rows = {
             name: np.array([self.net_row[net] for net in bus_nets], dtype=np.intp)
             for name, bus_nets in netlist.input_buses.items()
         }
+        self.input_bus_slices = {
+            name: _as_slice(rows) for name, rows in self.input_bus_rows.items()
+        }
         self.output_bus_rows = {
             name: np.array([self.net_row[net] for net in bus_nets], dtype=np.intp)
             for name, bus_nets in netlist.output_buses.items()
+        }
+
+        #: Number of levelized arrival traversals this graph has run — one
+        #: per :meth:`max_plus_pass` call, covering its *whole* batch.  The
+        #: array-map benchmarks assert batching on this counter instead of
+        #: wall clock alone.
+        self.max_plus_passes = 0
+
+    # ------------------------------------------------------------ diagnostics
+    def gather_locality(self) -> dict[str, float]:
+        """Locality metrics of the schedule's gathers and scatters.
+
+        Returns fractions in ``[0, 1]``:
+
+        * ``"contiguous_output_levels"`` — levels whose output rows form
+          one ascending run (always 1.0 under the ``"level"`` layout);
+        * ``"contiguous_input_buses"`` — input buses packable by slice;
+        * ``"sequential_read_fraction"`` — gather index steps that advance
+          by exactly one row (reads the hardware prefetcher can stream).
+        """
+        steps = 0
+        unit_steps = 0
+        for plan in self.levels:
+            for rows in plan.padded_input_rows:
+                if rows.size > 1:
+                    steps += rows.size - 1
+                    unit_steps += int(np.count_nonzero(np.diff(rows) == 1))
+        num_levels = max(len(self.levels), 1)
+        num_buses = max(len(self.input_bus_slices), 1)
+        return {
+            "contiguous_output_levels": sum(
+                plan.output_slice is not None for plan in self.levels
+            )
+            / num_levels,
+            "contiguous_input_buses": sum(
+                bus_slice is not None for bus_slice in self.input_bus_slices.values()
+            )
+            / num_buses,
+            "sequential_read_fraction": unit_steps / steps if steps else 1.0,
         }
 
     # ------------------------------------------------------------- schedules
@@ -208,6 +381,20 @@ class LevelizedGraph:
             np.array([gate_delay_ps[gate] for gate in level.gates])
             for level in self.levels
         ]
+
+    def level_delay_columns(self, delay_matrix: np.ndarray) -> list[np.ndarray]:
+        """Per-level ``(level size, corners)`` delay columns.
+
+        ``delay_matrix`` is ``(gates, corners)`` float64 aligned with
+        ``netlist.topological_gates()`` — one column per corner/scenario.
+        """
+        matrix = np.asarray(delay_matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != self.num_gates:
+            raise ValueError(
+                f"delay matrix must be (num_gates={self.num_gates}, corners), "
+                f"got shape {matrix.shape}"
+            )
+        return [matrix[indices] for indices in self.level_topo_indices]
 
     def pack_inputs(
         self, inputs: Mapping[str, Sequence[int]]
@@ -267,7 +454,11 @@ class LevelizedGraph:
         assert lanes is not None
         values = np.zeros((self.num_nets, lane_word_count(lanes)), dtype=np.uint64)
         for bus_name, rows in self.input_bus_rows.items():
-            values[rows] = packed[bus_name]
+            bus_slice = self.input_bus_slices[bus_name]
+            if bus_slice is not None:
+                values[bus_slice] = packed[bus_name]
+            else:
+                values[rows] = packed[bus_name]
         if self.constant_one_rows.size:
             values[self.constant_one_rows] = UINT64_MASK
         return values, lanes
@@ -277,9 +468,17 @@ class LevelizedGraph:
         for level in self.levels:
             for group in level.value_groups:
                 func = WORD_CELL_FUNCTIONS[group.cell_name]
-                values[group.output_rows] = func(
-                    UINT64_MASK, *(values[rows] for rows in group.input_rows)
+                result = func(
+                    UINT64_MASK,
+                    *(
+                        values[rows] if row_slice is None else values[row_slice]
+                        for rows, row_slice in zip(group.input_rows, group.input_slices)
+                    ),
                 )
+                if group.output_slice is not None:
+                    values[group.output_slice] = result
+                else:
+                    values[group.output_rows] = result
         return values
 
     # -------------------------------------------------------------- arrivals
@@ -293,14 +492,47 @@ class LevelizedGraph:
 
         Arrival vectors are carried as ``(nets, batch)`` float64 — ``batch``
         being STA corners or Monte-Carlo lanes — and each level runs one
-        vectorised max-plus step (three arity-padded gathers, max, add the
-        per-gate delay).  ``excluded`` is an optional ``(nets, batch)``
-        boolean mask of (net, batch-element) pairs pinned to a constant,
-        whose arrival reads as 0.0 (case analysis).
+        vectorised max-plus step (arity-padded gathers, max, add the
+        per-gate delay).  Each ``level_delays`` entry is either a ``(size,)``
+        vector shared by the batch or a ``(size, batch)`` matrix of
+        per-corner delay columns.  ``excluded`` is an optional boolean mask
+        of (net, batch-element) pairs pinned to a constant, whose arrival
+        reads as 0.0 (case analysis); a ``(nets, 1)`` mask broadcasts one
+        shared constant set over the whole batch.
+
+        Under the ``"level"`` layout each level computes directly into the
+        slice view of its output block (gathers stream through one reused
+        scratch buffer, no per-level allocation or scatter); the
+        ``"creation"`` layout keeps the historical gather/scatter kernel.
+        Both run the same float operations in the same order, so results
+        are bit-identical across layouts.
         """
-        arrivals = np.zeros((self.num_nets, batch))
+        self.max_plus_passes += 1
         if excluded is not None:
             live = ~excluded
+        if self.layout == "level":
+            arrivals = np.empty((self.num_nets, batch))
+            arrivals[: self.num_source_rows] = 0.0
+            scratch = np.empty((self.max_level_size, batch))
+            for level, delays in zip(self.levels, level_delays):
+                in_rows = level.padded_input_rows
+                out = arrivals[level.output_slice]
+                np.take(arrivals, in_rows[0], axis=0, out=out, mode="clip")
+                if excluded is None:
+                    for rows in in_rows[1:]:
+                        gathered = scratch[: rows.size]
+                        np.take(arrivals, rows, axis=0, out=gathered, mode="clip")
+                        np.maximum(out, gathered, out=out)
+                else:
+                    out *= live[in_rows[0]]
+                    for rows in in_rows[1:]:
+                        gathered = scratch[: rows.size]
+                        np.take(arrivals, rows, axis=0, out=gathered, mode="clip")
+                        gathered *= live[rows]
+                        np.maximum(out, gathered, out=out)
+                out += delays[:, None] if delays.ndim == 1 else delays
+            return arrivals
+        arrivals = np.zeros((self.num_nets, batch))
         for level, delays in zip(self.levels, level_delays):
             in_rows = level.padded_input_rows
             if excluded is None:
@@ -311,32 +543,47 @@ class LevelizedGraph:
                 latest = arrivals[in_rows[0]] * live[in_rows[0]]
                 for rows in in_rows[1:]:
                     np.maximum(latest, arrivals[rows] * live[rows], out=latest)
-            latest += delays[:, None]
+            latest += delays[:, None] if delays.ndim == 1 else delays
             arrivals[level.output_rows] = latest
         return arrivals
 
 
-#: One schedule per netlist: every simulator / STA corner pass over the same
-#: netlist shares the grouping (keyed weakly so netlists stay collectable).
-_GRAPH_CACHE: "weakref.WeakKeyDictionary[Netlist, LevelizedGraph]" = (
+#: One schedule per (netlist, layout): every simulator / STA corner pass
+#: over the same netlist shares the grouping (keyed weakly so netlists stay
+#: collectable).
+_GRAPH_CACHE: "weakref.WeakKeyDictionary[Netlist, dict[str, LevelizedGraph]]" = (
     weakref.WeakKeyDictionary()
 )
+_GRAPH_CACHE_STATS = {"hits": 0, "misses": 0}
 
 
-def levelized_graph(netlist: Netlist) -> LevelizedGraph:
+def levelized_graph(netlist: Netlist, layout: str = "level") -> LevelizedGraph:
     """The (cached) levelized gather/scatter schedule of ``netlist``."""
-    graph = _GRAPH_CACHE.get(netlist)
+    per_netlist = _GRAPH_CACHE.get(netlist)
+    if per_netlist is None:
+        per_netlist = {}
+        _GRAPH_CACHE[netlist] = per_netlist
+    graph = per_netlist.get(layout)
     if graph is None:
-        graph = LevelizedGraph(netlist)
-        _GRAPH_CACHE[netlist] = graph
+        _GRAPH_CACHE_STATS["misses"] += 1
+        graph = LevelizedGraph(netlist, layout=layout)
+        per_netlist[layout] = graph
+    else:
+        _GRAPH_CACHE_STATS["hits"] += 1
     return graph
+
+
+def levelized_graph_cache_stats() -> dict[str, int]:
+    """Hit/miss counters of the schedule cache (process-lifetime totals)."""
+    return dict(_GRAPH_CACHE_STATS)
 
 
 # ============================================================ corner STA pass
 def corner_case_delays(
     netlist: Netlist,
-    gate_delay_ps: Mapping[Gate, float],
+    gate_delay_ps: "Mapping[Gate, float] | np.ndarray",
     corner_constants: Sequence[Mapping[object, int]],
+    layout: str = "level",
 ) -> list[float]:
     """Critical-path delays of many case-analysis corners in one pass.
 
@@ -347,18 +594,40 @@ def corner_case_delays(
     once per corner (max-plus over float64 is order-insensitive and every
     gate adds the same delay; arrivals are non-negative, so masking by
     multiplication equals exclusion).
+
+    ``gate_delay_ps`` is either one ``{gate: delay}`` table shared by every
+    corner, or a ``(gates, corners)`` float matrix aligned with
+    ``netlist.topological_gates()`` — per-corner delay columns, which is
+    how per-PE aging scenarios batch a whole accelerator array into a
+    single levelized pass.  When every entry of ``corner_constants`` is the
+    *same* mapping object (one shared case-analysis set), the exclusion
+    mask collapses to one broadcast column.
     """
     if not corner_constants:
         return []
-    graph = levelized_graph(netlist)
+    graph = levelized_graph(netlist, layout)
     corners = len(corner_constants)
-    excluded = np.zeros((graph.num_nets, corners), dtype=bool)
-    for corner, constants in enumerate(corner_constants):
-        for net in constants:
-            excluded[graph.net_row[net], corner] = True
-    arrivals = graph.max_plus_pass(
-        graph.level_delays(gate_delay_ps), corners, excluded=excluded
-    )
+    first = corner_constants[0]
+    if all(constants is first for constants in corner_constants):
+        excluded = np.zeros((graph.num_nets, 1), dtype=bool)
+        for net in first:
+            excluded[graph.net_row[net], 0] = True
+    else:
+        excluded = np.zeros((graph.num_nets, corners), dtype=bool)
+        for corner, constants in enumerate(corner_constants):
+            for net in constants:
+                excluded[graph.net_row[net], corner] = True
+    if isinstance(gate_delay_ps, np.ndarray):
+        matrix = np.asarray(gate_delay_ps, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[1] != corners:
+            raise ValueError(
+                f"per-corner delay columns must be (gates, corners={corners}), "
+                f"got shape {matrix.shape}"
+            )
+        level_delays = graph.level_delay_columns(matrix)
+    else:
+        level_delays = graph.level_delays(gate_delay_ps)
+    arrivals = graph.max_plus_pass(level_delays, corners, excluded=excluded)
     worst = np.zeros(corners)
     for net in netlist.primary_output_nets():
         row = graph.net_row[net]
@@ -457,6 +726,15 @@ class LaneTimingSimulator:
     packed uint64 rows grouped by cell type, arrival/perturbation state on
     dense per-lane arrays with one arity-padded max-plus (or or-reduce)
     step per level.
+
+    Under the default ``"level"`` layout the per-level arrival and
+    perturbation results are computed straight into slice views of the
+    state arrays, the big float buffers are reused across
+    :meth:`propagate_batch` calls (no repeated allocation / page-fault
+    churn at wide batches), and only the contiguous source block is
+    re-zeroed per call.  ``layout="creation"`` runs the historical
+    gather/scatter kernel on creation-ordered rows — the baseline the
+    layout benchmark measures against.
     """
 
     def __init__(
@@ -464,6 +742,7 @@ class LaneTimingSimulator:
         netlist: Netlist,
         library,
         arrival_model: str = "settle",
+        layout: str = "level",
     ) -> None:
         if arrival_model not in BATCH_ARRIVAL_MODELS:
             raise ValueError(
@@ -474,12 +753,43 @@ class LaneTimingSimulator:
         self.netlist = netlist
         self.library = library
         self.arrival_model = arrival_model
-        self.graph = levelized_graph(netlist)
+        self.graph = levelized_graph(netlist, layout)
         # The scenario funnel covers every gate of the netlist, which is a
         # superset of the levelized schedule's gates.
         self._level_delays = self.graph.level_delays(
             resolve_gate_delays(netlist, library)
         )
+        # Reusable per-lane-count state ("level" layout only): the arrival
+        # array, the gather scratch, and per-level slice views into the
+        # arrival buffer (the join-segment kernel's operands, bound once
+        # per lane count instead of re-sliced every call).  The evaluation
+        # result holds no views into these, so the same pages serve every
+        # propagate_batch call of one sweep.
+        self._arrivals_buffer: np.ndarray | None = None
+        self._scratch_buffer: np.ndarray | None = None
+        self._level_views: list[tuple[np.ndarray, list, list[np.ndarray]]] = []
+
+    def _lane_buffers(
+        self, lanes: int
+    ) -> tuple[np.ndarray, np.ndarray, "list[tuple[np.ndarray, list, list[np.ndarray]]]"]:
+        if self._arrivals_buffer is None or self._arrivals_buffer.shape[1] != lanes:
+            graph = self.graph
+            arrivals = np.empty((graph.num_nets, lanes))
+            self._arrivals_buffer = arrivals
+            self._scratch_buffer = np.empty((graph.max_level_size, lanes))
+            self._level_views = []
+            for level in graph.levels:
+                out = arrivals[level.output_slice]
+                out_start = level.output_slice.start
+                segments = []
+                for dst_start, dst_stop, src0, src1 in level.join_segments:
+                    size = dst_stop - dst_start
+                    seg_a = arrivals[src0 : src0 + size]
+                    seg_b = seg_a if src1 == src0 else arrivals[src1 : src1 + size]
+                    segments.append((arrivals[out_start + dst_start : out_start + dst_stop], seg_a, seg_b))
+                extra_pins = list(level.padded_input_rows[2:])
+                self._level_views.append((out, segments, extra_pins))
+        return self._arrivals_buffer, self._scratch_buffer, self._level_views
 
     def propagate_batch(
         self,
@@ -513,8 +823,130 @@ class LaneTimingSimulator:
         perturbed = np.zeros((graph.num_nets, words), dtype=np.uint64)
         for rows in graph.input_bus_rows.values():
             perturbed[rows] = curr_values[rows] ^ prev_values[rows]
-        arrivals = np.zeros((graph.num_nets, lanes))
 
+        if graph.layout == "level":
+            arrivals = self._propagate_level_layout(
+                prev_values, curr_values, perturbed, live, lanes, settle
+            )
+        else:
+            arrivals = self._propagate_creation_layout(
+                prev_values, curr_values, perturbed, live, lanes, settle
+            )
+        return self._build_evaluation(prev_values, curr_values, arrivals, lanes)
+
+    # ----------------------------------------------------- arrival traversals
+    def _propagate_level_layout(
+        self,
+        prev_values: np.ndarray,
+        curr_values: np.ndarray,
+        perturbed: np.ndarray,
+        live: np.ndarray,
+        lanes: int,
+        settle: bool,
+    ) -> np.ndarray:
+        """Level-layout traversal: packed-domain pass, then float max-plus.
+
+        Phase 1 runs the cheap packed uint64 work (value evaluation,
+        perturbation / activity masks) over the full width.  Phase 2 runs
+        the bandwidth-bound float64 max-plus traversal; under the settle
+        model each level is a handful of **join-segment** slice-view
+        ``maximum`` calls — both operands read straight from their home
+        rows, the result lands straight in the output block, so each input
+        row is read once and each output row written once (the
+        creation-order kernel reads/writes every row ~2-3x through gather
+        copies and a scatter).  All float/bit operations are elementwise
+        and run in the same order as the creation-layout kernel, so results
+        are bit-identical across layouts.
+        """
+        graph = self.graph
+        arrivals, scratch, level_views = self._lane_buffers(lanes)
+        levels = graph.levels
+
+        # ---- Phase 1: packed-domain values + per-level activity masks.
+        # ``active`` is None when every live lane is active (the common case
+        # once a few levels of random vectors fan in) — phase 2 then skips
+        # the unpack-and-mask entirely, like the bigint fast path.
+        level_active: list[np.ndarray | None] = []
+        live_row = live[None, :]
+        for level in levels:
+            for group in level.value_groups:
+                func = WORD_CELL_FUNCTIONS[group.cell_name]
+                curr_values[group.output_slice] = func(
+                    UINT64_MASK,
+                    *(
+                        curr_values[rows] if row_slice is None else curr_values[row_slice]
+                        for rows, row_slice in zip(group.input_rows, group.input_slices)
+                    ),
+                )
+            in_rows = level.padded_input_rows
+            out_slice = level.output_slice
+
+            pert = perturbed[out_slice]
+            np.take(perturbed, in_rows[0], axis=0, out=pert, mode="clip")
+            for rows in in_rows[1:]:
+                np.bitwise_or(pert, perturbed[rows], out=pert)
+            pert[level.structural_outputs] = 0
+
+            if settle:
+                active = pert
+            else:  # "transition": only functional value changes carry delay.
+                active = pert & (curr_values[out_slice] ^ prev_values[out_slice])
+            level_active.append(
+                None if np.array_equal(active, np.broadcast_to(live_row, active.shape))
+                else active
+            )
+
+        # ---- Phase 2: float64 max-plus traversal.
+        arrivals[: graph.num_source_rows] = 0.0
+        for level, (out, segments, extra_pins), delays, active in zip(
+            levels, level_views, self._level_delays, level_active
+        ):
+            if settle:
+                # Structural / unperturbed / constant inputs all carry a 0.0
+                # arrival row, so the plain max matches the scalar model's
+                # "exclude structural inputs" rule exactly.  An arity-1
+                # segment (seg_b is seg_a) degenerates to a row copy:
+                # max(a, a) == a bit for bit.
+                for seg_out, seg_a, seg_b in segments:
+                    if seg_b is seg_a:
+                        np.copyto(seg_out, seg_a)
+                    else:
+                        np.maximum(seg_a, seg_b, out=seg_out)
+                for rows in extra_pins:
+                    gathered = scratch[: rows.size]
+                    np.take(arrivals, rows, axis=0, out=gathered, mode="clip")
+                    np.maximum(out, gathered, out=out)
+            else:  # "transition": only functional value changes carry delay.
+                in_rows = level.padded_input_rows
+                in_changed = lane_array_to_bits(
+                    curr_values[in_rows] ^ prev_values[in_rows], lanes
+                )
+                np.take(arrivals, in_rows[0], axis=0, out=out, mode="clip")
+                out *= in_changed[0]
+                for pin in range(1, len(in_rows)):
+                    gathered = scratch[: in_rows.shape[1]]
+                    np.take(arrivals, in_rows[pin], axis=0, out=gathered, mode="clip")
+                    gathered *= in_changed[pin]
+                    np.maximum(out, gathered, out=out)
+            # Arrivals and delays are non-negative, so masking by the 0/1
+            # active bits is the same as where(active, base + delay, 0.0).
+            out += delays[:, None]
+            if active is not None:
+                out *= lane_array_to_bits(active, lanes)
+        return arrivals
+
+    def _propagate_creation_layout(
+        self,
+        prev_values: np.ndarray,
+        curr_values: np.ndarray,
+        perturbed: np.ndarray,
+        live: np.ndarray,
+        lanes: int,
+        settle: bool,
+    ) -> np.ndarray:
+        """The historical gather/scatter traversal on creation-ordered rows."""
+        graph = self.graph
+        arrivals = np.zeros((graph.num_nets, lanes))
         for level, delays in zip(graph.levels, self._level_delays):
             for group in level.value_groups:
                 func = WORD_CELL_FUNCTIONS[group.cell_name]
@@ -533,14 +965,11 @@ class LaneTimingSimulator:
             perturbed[out_rows] = pert
 
             if settle:
-                # Structural / unperturbed / constant inputs all carry a 0.0
-                # arrival row, so the plain max matches the scalar model's
-                # "exclude structural inputs" rule exactly.
                 base = arrivals[in_rows[0]]
                 for rows in in_rows[1:]:
                     np.maximum(base, arrivals[rows], out=base)
                 active = pert
-            else:  # "transition": only functional value changes carry delay.
+            else:
                 in_changed = lane_array_to_bits(
                     curr_values[in_rows] ^ prev_values[in_rows], lanes
                 )
@@ -548,14 +977,11 @@ class LaneTimingSimulator:
                 for pin in range(1, len(in_rows)):
                     np.maximum(base, arrivals[in_rows[pin]] * in_changed[pin], out=base)
                 active = pert & (curr_values[out_rows] ^ prev_values[out_rows])
-            # Arrivals and delays are non-negative, so masking by the 0/1
-            # active bits is the same as where(active, base + delay, 0.0).
             base += delays[:, None]
             if not np.array_equal(active, np.broadcast_to(live, active.shape)):
                 base *= lane_array_to_bits(active, lanes)
             arrivals[out_rows] = base
-
-        return self._build_evaluation(prev_values, curr_values, arrivals, lanes)
+        return arrivals
 
     # ----------------------------------------------------------------- result
     def _build_evaluation(

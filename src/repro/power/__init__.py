@@ -12,11 +12,18 @@ energy reduction).  The package estimates:
 """
 
 from repro.power.switching import SwitchingActivity, estimate_switching_activity
-from repro.power.energy import EnergyModel, EnergyReport
+from repro.power.energy import (
+    EnergyModel,
+    EnergyReport,
+    delta_leakage_nw,
+    scenario_energy_reports,
+)
 
 __all__ = [
     "SwitchingActivity",
     "estimate_switching_activity",
     "EnergyModel",
     "EnergyReport",
+    "delta_leakage_nw",
+    "scenario_energy_reports",
 ]

@@ -14,14 +14,74 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.aging.cell_library import CellLibrary, leakage_derating_factor
-from repro.aging.scenarios.base import AgingScenario
+import numpy as np
+
+from repro.aging.cell_library import (
+    CellLibrary,
+    leakage_derating_factor,
+    leakage_derating_factors,
+)
+from repro.aging.scenarios.base import AgingScenario, default_fresh_library
 from repro.circuits.mac import ArithmeticUnit
 from repro.circuits.netlist import Netlist
 from repro.power.switching import InputSampler, SwitchingActivity, estimate_switching_activity
 
 #: 1 nW sustained for 1 ps equals 1e-6 fJ.
 _NW_PS_TO_FJ = 1e-6
+
+
+def _sequential_sum(values: np.ndarray) -> float:
+    """Left-to-right float accumulation, bit-identical to ``for x: acc += x``.
+
+    ``np.sum`` uses pairwise reduction, which is faster but rounds
+    differently; ``np.cumsum`` accumulates strictly sequentially, so its last
+    element reproduces the Python loop the scalar energy path used to run.
+    """
+    if values.size == 0:
+        return 0.0
+    return float(np.cumsum(values)[-1])
+
+
+def _creation_order_permutation(netlist: Netlist) -> np.ndarray:
+    """Indices mapping topological gate order to ``netlist.gates`` order.
+
+    Scenario ΔVth draws are aligned with ``topological_gates()`` while the
+    energy accumulation walks ``netlist.gates`` (creation order); applying
+    this permutation *before* the sequential sum preserves the scalar loop's
+    accumulation order bit for bit.
+    """
+    topo_index = {gate: i for i, gate in enumerate(netlist.topological_gates())}
+    return np.array([topo_index[gate] for gate in netlist.gates], dtype=np.intp)
+
+
+def delta_leakage_nw(
+    netlist: Netlist,
+    delta_vth_mv: np.ndarray,
+    library: CellLibrary | None = None,
+) -> np.ndarray:
+    """Total static leakage (nW) per ΔVth column, one NumPy reduction.
+
+    ``delta_vth_mv`` is ``(gates,)`` or ``(gates, scenarios)`` aligned with
+    ``netlist.topological_gates()``.  Each column's total is bit-identical
+    to the per-gate Python loop (``spec.leakage_power_nw *
+    leakage_derating_factor(ΔVth)`` summed in ``netlist.gates`` order): the
+    derating table goes through libm ``pow`` elementwise and the reduction
+    is a sequential cumsum after reordering to creation order.
+    """
+    base = library if library is not None else default_fresh_library()
+    deltas = np.asarray(delta_vth_mv, dtype=float)
+    order = netlist.topological_gates()
+    if deltas.shape[0] != len(order):
+        raise ValueError(
+            f"delta_vth_mv must have one row per gate ({len(order)}), "
+            f"got shape {deltas.shape}"
+        )
+    specs = np.array([base.cell(gate.cell_name).leakage_power_nw for gate in order])
+    derated = (specs[:, None] if deltas.ndim == 2 else specs) * leakage_derating_factors(deltas)
+    per_gate = derated[_creation_order_permutation(netlist)]
+    if per_gate.size == 0:
+        return np.zeros(deltas.shape[1:] or ())
+    return np.cumsum(per_gate, axis=0)[-1]
 
 
 @dataclass(frozen=True)
@@ -51,6 +111,59 @@ class EnergyReport:
         if self.num_operations == 0:
             return 0.0
         return self.total_energy_fj / self.num_operations
+
+
+def _dynamic_energy_terms(
+    netlist: Netlist, activity: SwitchingActivity, library: CellLibrary
+) -> np.ndarray:
+    """Per-gate switching-energy terms in ``netlist.gates`` order."""
+    return np.array(
+        [
+            activity.toggles_per_gate.get(gate.name, 0)
+            * library.switching_energy_fj(gate.cell_name)
+            for gate in netlist.gates
+        ]
+    )
+
+
+def scenario_energy_reports(
+    target: "ArithmeticUnit | Netlist",
+    delta_vth_mv: np.ndarray,
+    activity: SwitchingActivity,
+    clock_period_ps: float,
+    library: CellLibrary | None = None,
+) -> list[EnergyReport]:
+    """Price one activity under many per-gate ΔVth columns at once.
+
+    ``delta_vth_mv`` is a ``(gates, scenarios)`` matrix (rows aligned with
+    ``netlist.topological_gates()``) — typically the stacked
+    :meth:`~repro.aging.scenarios.AgingScenario.gate_delta_vth_mv` draws of
+    an array's PEs.  Switching energy is aging-independent, so the dynamic
+    term is computed once; leakage derates per column through one
+    vectorised reduction.  Report ``k`` is bit-identical to
+    ``EnergyModel(scenario_k).energy_from_activity(...)``.
+    """
+    if clock_period_ps <= 0:
+        raise ValueError("clock_period_ps must be positive")
+    netlist = target.netlist if isinstance(target, ArithmeticUnit) else target
+    base = library if library is not None else default_fresh_library()
+    deltas = np.asarray(delta_vth_mv, dtype=float)
+    if deltas.ndim != 2:
+        raise ValueError(f"delta_vth_mv must be (gates, scenarios), got shape {deltas.shape}")
+    dynamic_fj = _sequential_sum(_dynamic_energy_terms(netlist, activity, base))
+    leakage_columns = delta_leakage_nw(netlist, deltas, base)
+    return [
+        EnergyReport(
+            dynamic_energy_fj=dynamic_fj,
+            leakage_energy_fj=float(leakage_nw)
+            * clock_period_ps
+            * activity.num_transitions
+            * _NW_PS_TO_FJ,
+            num_operations=activity.num_transitions,
+            clock_period_ps=clock_period_ps,
+        )
+        for leakage_nw in leakage_columns
+    ]
 
 
 class EnergyModel:
@@ -93,13 +206,14 @@ class EnergyModel:
         if clock_period_ps <= 0:
             raise ValueError("clock_period_ps must be positive")
         netlist = target.netlist if isinstance(target, ArithmeticUnit) else target
-        gate_leakage = self._gate_leakage_nw(netlist)
-        dynamic_fj = 0.0
-        leakage_nw = 0.0
-        for gate in netlist.gates:
-            toggles = activity.toggles_per_gate.get(gate.name, 0)
-            dynamic_fj += toggles * self.library.switching_energy_fj(gate.cell_name)
-            leakage_nw += gate_leakage[gate]
+        dynamic_fj = _sequential_sum(_dynamic_energy_terms(netlist, activity, self.library))
+        if self.scenario is None:
+            leakage_nw = _sequential_sum(
+                np.array([self.library.leakage_power_nw(g.cell_name) for g in netlist.gates])
+            )
+        else:
+            deltas = self.scenario.gate_delta_vth_mv(netlist, self.library)
+            leakage_nw = float(delta_leakage_nw(netlist, deltas, self.library))
         leakage_fj = leakage_nw * clock_period_ps * activity.num_transitions * _NW_PS_TO_FJ
         return EnergyReport(
             dynamic_energy_fj=dynamic_fj,

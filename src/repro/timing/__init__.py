@@ -10,7 +10,7 @@ This package stands in for Synopsys PrimeTime in the paper's flow (Fig. 3):
   (the paper's Fig. 1a experiment).
 """
 
-from repro.timing.sta import StaticTimingAnalyzer, TimingPath
+from repro.timing.sta import StaticTimingAnalyzer, TimingPath, scenario_case_delays
 from repro.timing.error_model import (
     TimingErrorStatistics,
     characterize_timing_errors,
@@ -20,6 +20,7 @@ from repro.timing.error_model import (
 __all__ = [
     "StaticTimingAnalyzer",
     "TimingPath",
+    "scenario_case_delays",
     "TimingErrorStatistics",
     "characterize_timing_errors",
     "sweep_timing_errors",

@@ -17,7 +17,11 @@ from dataclasses import dataclass
 from collections.abc import Mapping, Sequence
 
 from repro.aging.cell_library import CellLibrary
-from repro.aging.scenarios.base import AgingScenario, resolve_gate_delays
+from repro.aging.scenarios.base import (
+    AgingScenario,
+    resolve_gate_delay_columns,
+    resolve_gate_delays,
+)
 from repro.circuits.backends import corner_case_delays
 from repro.circuits.constants import propagate_constants
 from repro.circuits.mac import ArithmeticUnit
@@ -43,6 +47,47 @@ class TimingPath:
     def depth(self) -> int:
         """Number of logic stages along the path."""
         return max(len(self.nets) - 1, 0)
+
+
+def scenario_case_delays(
+    target: "ArithmeticUnit | Netlist",
+    scenarios: "Sequence[float | AgingScenario]",
+    library: CellLibrary | None = None,
+    case_analysis: Mapping[str, int] | None = None,
+) -> list[float]:
+    """Critical-path delays of many aging scenarios in one levelized pass.
+
+    The dual of :meth:`StaticTimingAnalyzer.case_analysis_delays`: there the
+    delay table is shared and the constants vary per corner; here the
+    constants are shared (one optional ``case_analysis``) and the **delay
+    table varies per corner** — scenario ``j`` becomes column ``j`` of a
+    ``(gates, scenarios)`` delay matrix resolved through
+    :func:`~repro.aging.scenarios.base.resolve_gate_delay_columns`, and the
+    whole batch rides one corner-batched max-plus pass.  This is what turns
+    a 64×64 array scenario map from 4096 ``StaticTimingAnalyzer`` runs into
+    a single ``(nets, PEs)`` traversal.
+
+    Returns per-scenario delays bit-identical to instantiating
+    ``StaticTimingAnalyzer(target, scenario)`` per scenario (max-plus over
+    float64 is order-insensitive, and the vectorised delay resolution goes
+    through libm ``pow`` elementwise).
+    """
+    netlist = target.netlist if isinstance(target, ArithmeticUnit) else target
+    if len(scenarios) == 0:
+        return []
+    delay_matrix = resolve_gate_delay_columns(netlist, list(scenarios), library)
+    assignments: dict[Net, int] = {}
+    for net_name, value in (case_analysis or {}).items():
+        if value not in (0, 1):
+            raise ValueError(f"case-analysis value for {net_name!r} must be 0/1")
+        net = netlist.nets.get(net_name)
+        if net is None:
+            raise KeyError(f"case-analysis net {net_name!r} not found in netlist")
+        assignments[net] = value
+    constants = propagate_constants(netlist, assignments)
+    # One shared constant map for every column: corner_case_delays detects
+    # the identity and broadcasts the exclusion mask instead of re-resolving.
+    return corner_case_delays(netlist, delay_matrix, [constants] * delay_matrix.shape[1])
 
 
 class StaticTimingAnalyzer:

@@ -23,6 +23,7 @@ from repro.aging.cell_library import AgingAwareLibrarySet
 from repro.circuits.backends import (
     LANE_BACKEND_MIN_LANES,
     LaneTimingSimulator,
+    LevelizedGraph,
     SimulationBackend,
     backend_names,
     corner_case_delays,
@@ -385,3 +386,155 @@ class TestCornerStaPass:
     def test_empty_corner_list(self):
         analyzer = StaticTimingAnalyzer(_MAC, _LIBRARIES.fresh)
         assert analyzer.case_analysis_delays([]) == []
+
+
+# ------------------------------------------------------- level-ordered layout
+class TestLevelOrderedLayout:
+    """The level-ordered net numbering against the creation-order baseline."""
+
+    def test_row_permutation_is_a_bijection(self):
+        for netlist in (_MULT5.netlist, _MAC.netlist):
+            graph = levelized_graph(netlist, "level")
+            assert np.array_equal(
+                np.sort(graph.row_permutation), np.arange(graph.num_nets)
+            )
+            # Sources keep creation order at the front, so bus packing can
+            # still write whole input buses as slices.
+            assert graph.num_source_rows <= graph.num_nets
+
+    @given(netlist=random_netlists())
+    @settings(max_examples=30, deadline=None)
+    def test_row_permutation_is_a_bijection_on_random_netlists(self, netlist):
+        graph = LevelizedGraph(netlist, "level")
+        assert np.array_equal(np.sort(graph.row_permutation), np.arange(graph.num_nets))
+
+    def test_bus_packing_round_trips_through_the_permutation(self):
+        from repro.utils.bitops import lane_array_to_bits
+
+        rng = np.random.default_rng(5)
+        lanes = 70
+        inputs = _lane_inputs(_MAC.netlist, rng, lanes)
+        level = levelized_graph(_MAC.netlist, "level")
+        creation = levelized_graph(_MAC.netlist, "creation")
+        packed_level, lanes_out = level.pack_inputs(inputs)
+        packed_creation, _ = creation.pack_inputs(inputs)
+        assert lanes_out == lanes
+        # The permuted layout holds the same rows, just renumbered.
+        assert np.array_equal(packed_level[level.row_permutation], packed_creation)
+        # And each bus unpacks to exactly the ints that were packed.
+        for bus, rows in level.input_bus_rows.items():
+            bits = lane_array_to_bits(packed_level[rows], lanes)
+            recovered = [
+                int(sum(1 << bit for bit in range(bits.shape[0]) if bits[bit, lane]))
+                for lane in range(lanes)
+            ]
+            assert recovered == list(inputs[bus])
+
+    @pytest.mark.parametrize("model", BATCH_ARRIVAL_MODELS)
+    def test_layouts_bit_identical_across_scenario_families(self, model):
+        from repro.aging.scenarios import (
+            MissionProfile,
+            PerCellTypeAging,
+            UniformAging,
+            VariationAging,
+        )
+
+        base = _LIBRARIES.fresh
+        scenarios = [
+            UniformAging(30.0, library=base),
+            MissionProfile(years=5.0, temperature_c=85.0, duty_cycle=0.8, library=base),
+            PerCellTypeAging(
+                levels_mv={"NAND2": 40.0, "INV": 10.0}, default_mv=20.0, library=base
+            ),
+            VariationAging(25.0, 6.0, seed=11, library=base),
+        ]
+        rng = np.random.default_rng(23)
+        lanes = 70
+        previous = _lane_inputs(_MAC.netlist, rng, lanes)
+        current = _lane_inputs(_MAC.netlist, rng, lanes)
+        for scenario in scenarios:
+            evals = {
+                layout: LaneTimingSimulator(
+                    _MAC.netlist, scenario, model, layout=layout
+                ).propagate_batch(previous, current)
+                for layout in ("level", "creation")
+            }
+            bigint = BatchTimingSimulator(_MAC.netlist, scenario, model).propagate_batch(
+                previous, current
+            )
+            reference = evals["creation"]
+            clock = float(np.quantile(reference.worst_arrival_ps, 0.5)) or 10.0
+            for other in (evals["level"], bigint):
+                assert np.array_equal(
+                    other.worst_arrival_ps, reference.worst_arrival_ps
+                )
+                assert other.final_outputs() == reference.final_outputs()
+                assert other.captured_outputs(clock) == reference.captured_outputs(clock)
+                for bus, arrivals in reference.output_arrivals_ps.items():
+                    assert np.array_equal(other.output_arrivals_ps[bus], arrivals)
+            # Spot-check a few lanes against the scalar simulator too, so the
+            # chain creation == level == bigint == scalar closes per family.
+            scalar_sim = TimingSimulator(_MAC.netlist, scenario, arrival_model=model)
+            finals = reference.final_outputs()
+            for lane in (0, lanes // 2, lanes - 1):
+                scalar_eval = scalar_sim.propagate(
+                    _lane_slice(previous, lane), _lane_slice(current, lane)
+                )
+                assert _lane_slice(finals, lane) == scalar_eval.final_outputs
+                assert (
+                    reference.worst_arrival_ps[lane] == scalar_eval.worst_arrival_ps
+                )
+
+    def test_gather_locality_improves_under_level_layout(self):
+        level = levelized_graph(_MAC.netlist, "level").gather_locality()
+        creation = levelized_graph(_MAC.netlist, "creation").gather_locality()
+        assert level["contiguous_output_levels"] == 1.0
+        assert level["contiguous_input_buses"] == 1.0
+        assert (
+            level["sequential_read_fraction"] > creation["sequential_read_fraction"]
+        )
+
+    def test_max_plus_pass_counter_counts_whole_batches(self):
+        graph = levelized_graph(_MAC.netlist, "level")
+        library = _LIBRARIES.library(20.0)
+        delays = {
+            gate: library.delay_ps(gate.cell_name, fanout=gate.output.fanout)
+            for gate in _MAC.netlist.topological_gates()
+        }
+        from repro.circuits.constants import propagate_constants
+
+        constants = propagate_constants(_MAC.netlist)
+        before = graph.max_plus_passes
+        corner_case_delays(_MAC.netlist, delays, [constants] * 5)
+        assert graph.max_plus_passes == before + 1  # 5 corners, one traversal
+
+
+# ------------------------------------------------------------ graph memoising
+class TestLevelizedGraphCache:
+    def test_cache_hit_counter(self):
+        from repro.circuits.backends import levelized_graph_cache_stats
+
+        netlist = build_multiplier(3, "array").netlist
+        before = levelized_graph_cache_stats()
+        first = levelized_graph(netlist)
+        warm = levelized_graph_cache_stats()
+        assert warm["misses"] == before["misses"] + 1
+        again = levelized_graph(netlist)
+        after = levelized_graph_cache_stats()
+        assert again is first
+        assert after["hits"] == warm["hits"] + 1
+        assert after["misses"] == warm["misses"]
+
+    def test_layouts_cached_independently(self):
+        netlist = build_multiplier(3, "array").netlist
+        level = levelized_graph(netlist, "level")
+        creation = levelized_graph(netlist, "creation")
+        assert level is not creation
+        assert levelized_graph(netlist, "level") is level
+        assert levelized_graph(netlist, "creation") is creation
+
+    def test_simulators_share_the_memoised_graph(self):
+        netlist = build_multiplier(3, "array").netlist
+        sim_a = LaneTimingSimulator(netlist, _LIBRARIES.fresh, "settle")
+        sim_b = LaneTimingSimulator(netlist, _LIBRARIES.fresh, "transition")
+        assert sim_a.graph is sim_b.graph

@@ -91,3 +91,106 @@ class TestCompressedInputSampler:
     def test_out_of_range_compression_rejected(self, paper_mac):
         with pytest.raises(ValueError):
             compressed_input_sampler(paper_mac, 9, 0, Padding.MSB)
+
+
+class TestVectorisedLeakage:
+    """The NumPy energy reductions against the original per-gate Python loops."""
+
+    def _scenarios(self, fresh_cells):
+        from repro.aging.scenarios import (
+            MissionProfile,
+            PerCellTypeAging,
+            UniformAging,
+            VariationAging,
+        )
+
+        return [
+            UniformAging(0.0, library=fresh_cells),
+            UniformAging(30.0, library=fresh_cells),
+            MissionProfile(
+                years=5.0, temperature_c=85.0, duty_cycle=0.8, library=fresh_cells
+            ),
+            PerCellTypeAging(
+                levels_mv={"NAND2": 40.0, "INV": 10.0},
+                default_mv=20.0,
+                library=fresh_cells,
+            ),
+            VariationAging(25.0, 6.0, seed=7, library=fresh_cells),
+        ]
+
+    def _loop_report(self, model, target, activity, clock_period_ps):
+        # The pre-vectorisation implementation, kept verbatim as the
+        # bit-identity reference.
+        netlist = target.netlist
+        gate_leakage = model._gate_leakage_nw(netlist)
+        dynamic_fj = 0.0
+        leakage_nw = 0.0
+        for gate in netlist.gates:
+            toggles = activity.toggles_per_gate.get(gate.name, 0)
+            dynamic_fj += toggles * model.library.switching_energy_fj(gate.cell_name)
+            leakage_nw += gate_leakage[gate]
+        leakage_fj = leakage_nw * clock_period_ps * activity.num_transitions * 1e-6
+        return dynamic_fj, leakage_fj
+
+    def test_scenario_paths_bit_identical_to_the_loop(self, small_mac, fresh_cells):
+        activity = estimate_switching_activity(small_mac, num_transitions=40, rng=2)
+        for scenario in self._scenarios(fresh_cells):
+            model = EnergyModel(scenario)
+            report = model.energy_from_activity(small_mac, activity, 500.0)
+            dynamic_fj, leakage_fj = self._loop_report(model, small_mac, activity, 500.0)
+            assert report.dynamic_energy_fj == dynamic_fj  # bit-identical, not approx
+            assert report.leakage_energy_fj == leakage_fj
+
+    def test_library_path_bit_identical_to_the_loop(self, small_mac, library_set):
+        activity = estimate_switching_activity(small_mac, num_transitions=40, rng=2)
+        for level in (0.0, 30.0, 50.0):
+            model = EnergyModel(library_set.library(level))
+            report = model.energy_from_activity(small_mac, activity, 500.0)
+            dynamic_fj, leakage_fj = self._loop_report(model, small_mac, activity, 500.0)
+            assert report.dynamic_energy_fj == dynamic_fj
+            assert report.leakage_energy_fj == leakage_fj
+
+    def test_delta_columns_match_per_scenario_reports(self, small_mac, fresh_cells):
+        import numpy as np
+
+        from repro.power.energy import delta_leakage_nw, scenario_energy_reports
+
+        scenarios = self._scenarios(fresh_cells)
+        activity = estimate_switching_activity(small_mac, num_transitions=40, rng=2)
+        deltas = np.stack(
+            [s.gate_delta_vth_mv(small_mac.netlist, fresh_cells) for s in scenarios],
+            axis=1,
+        )
+        reports = scenario_energy_reports(small_mac, deltas, activity, 500.0, fresh_cells)
+        columns = delta_leakage_nw(small_mac.netlist, deltas, fresh_cells)
+        assert len(reports) == len(scenarios) == columns.shape[0]
+        for scenario, report, column in zip(scenarios, reports, columns):
+            reference = EnergyModel(scenario).energy_from_activity(
+                small_mac, activity, 500.0
+            )
+            assert report == reference
+            single = delta_leakage_nw(
+                small_mac.netlist,
+                scenario.gate_delta_vth_mv(small_mac.netlist, fresh_cells),
+                fresh_cells,
+            )
+            assert float(single) == float(column)
+
+    def test_delta_columns_validate_shape_and_period(self, small_mac, fresh_cells):
+        import numpy as np
+
+        from repro.power.energy import delta_leakage_nw, scenario_energy_reports
+
+        activity = estimate_switching_activity(small_mac, num_transitions=10, rng=0)
+        bad = np.zeros((3, 2))
+        with pytest.raises(ValueError, match="row per gate"):
+            delta_leakage_nw(small_mac.netlist, bad, fresh_cells)
+        gates = len(small_mac.netlist.topological_gates())
+        with pytest.raises(ValueError, match="gates, scenarios"):
+            scenario_energy_reports(
+                small_mac, np.zeros(gates), activity, 500.0, fresh_cells
+            )
+        with pytest.raises(ValueError, match="clock_period_ps"):
+            scenario_energy_reports(
+                small_mac, np.zeros((gates, 1)), activity, 0.0, fresh_cells
+            )

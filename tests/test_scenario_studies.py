@@ -194,12 +194,39 @@ class TestArrayScenarioMap:
             library=fresh_cells,
             num_transitions=40,
         )
-        serial = array_scenario_map(array, workers=0, **kwargs)
+        serial = array_scenario_map(array, workers=0, batched=False, **kwargs)
         for workers, chunk_size in ((2, 1), (2, 4)):
             parallel = array_scenario_map(
-                array, workers=workers, chunk_size=chunk_size, **kwargs
+                array, workers=workers, chunk_size=chunk_size, batched=False, **kwargs
             )
             assert parallel.records == serial.records
+
+    def test_batched_path_bit_identical_to_scalar(self, small_mac, fresh_cells):
+        from repro.circuits.backends import levelized_graph
+
+        array = SystolicArray(rows=3, cols=3)
+        kwargs = dict(
+            nominal_mv=25.0,
+            sigma_mv=5.0,
+            seed=3,
+            mac=small_mac,
+            library=fresh_cells,
+            num_transitions=30,
+        )
+        scalar = array_scenario_map(array, batched=False, **kwargs)
+        graph = levelized_graph(small_mac.netlist)
+        before = graph.max_plus_passes
+        batched = array_scenario_map(array, batched=True, **kwargs)
+        # 9 PEs, one corner-batched max-plus traversal for the whole array.
+        assert graph.max_plus_passes - before == 1
+        assert batched.records == scalar.records
+        for grid in (
+            "delay_grid_ps",
+            "energy_grid_fj",
+            "margin_grid_mv",
+            "lifetime_grid_years",
+        ):
+            assert getattr(batched, grid)().tobytes() == getattr(scalar, grid)().tobytes()
 
     def test_grids_margins_and_lifetimes(self, small_mac, fresh_cells):
         array = SystolicArray(rows=2, cols=2)

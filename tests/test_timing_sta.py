@@ -89,3 +89,83 @@ class TestCaseAnalysis:
         case = {f"a[{i}]": 0 for i in range(4)}
         case.update({f"b[{i}]": 0 for i in range(4)})
         assert analyzer.critical_path_delay(case) == 0.0
+
+
+class TestScenarioCaseDelays:
+    """Scenario-column STA batching against per-scenario analyzers."""
+
+    def _scenarios(self, fresh_cells):
+        from repro.aging.scenarios import (
+            MissionProfile,
+            PerCellTypeAging,
+            UniformAging,
+            VariationAging,
+        )
+
+        return [
+            UniformAging(0.0, library=fresh_cells),
+            UniformAging(30.0, library=fresh_cells),
+            MissionProfile(
+                years=5.0, temperature_c=85.0, duty_cycle=0.8, library=fresh_cells
+            ),
+            PerCellTypeAging(
+                levels_mv={"NAND2": 40.0, "INV": 10.0},
+                default_mv=20.0,
+                library=fresh_cells,
+            ),
+            VariationAging(25.0, 6.0, seed=7, library=fresh_cells),
+            VariationAging(25.0, 6.0, seed=8, library=fresh_cells),
+        ]
+
+    def test_reproduces_per_scenario_delays_bit_identically(self, small_mac, fresh_cells):
+        from repro.timing.sta import scenario_case_delays
+
+        scenarios = self._scenarios(fresh_cells)
+        batched = scenario_case_delays(small_mac, scenarios, fresh_cells)
+        scalar = [
+            StaticTimingAnalyzer(small_mac, scenario).critical_path_delay()
+            for scenario in scenarios
+        ]
+        assert batched == scalar  # bit-identical floats, not approx
+
+    def test_supports_shared_case_analysis(self, small_mac, fresh_cells):
+        from repro.timing.sta import scenario_case_delays
+
+        scenarios = self._scenarios(fresh_cells)
+        case = mac_case_analysis(2, 2, Padding.MSB, multiplier_width=4, accumulator_width=10)
+        batched = scenario_case_delays(small_mac, scenarios, fresh_cells, case_analysis=case)
+        scalar = [
+            StaticTimingAnalyzer(small_mac, scenario).critical_path_delay(case)
+            for scenario in scenarios
+        ]
+        assert batched == scalar
+        # Constants kill paths, so the compressed delays can only shrink.
+        uncompressed = scenario_case_delays(small_mac, scenarios, fresh_cells)
+        assert all(c <= u for c, u in zip(batched, uncompressed))
+
+    def test_accepts_floats_and_counts_one_pass(self, small_mac, fresh_cells):
+        from repro.circuits.backends import levelized_graph
+        from repro.timing.sta import scenario_case_delays
+
+        graph = levelized_graph(small_mac.netlist)
+        before = graph.max_plus_passes
+        batched = scenario_case_delays(small_mac, [0.0, 20.0, 50.0], fresh_cells)
+        assert graph.max_plus_passes - before == 1
+        scalar = [
+            StaticTimingAnalyzer(small_mac, fresh_cells.aged(level)).critical_path_delay()
+            for level in (0.0, 20.0, 50.0)
+        ]
+        assert batched == scalar
+
+    def test_empty_and_invalid_inputs(self, small_mac, fresh_cells):
+        from repro.timing.sta import scenario_case_delays
+
+        assert scenario_case_delays(small_mac, [], fresh_cells) == []
+        with pytest.raises(KeyError, match="missing"):
+            scenario_case_delays(
+                small_mac, [0.0], fresh_cells, case_analysis={"missing": 0}
+            )
+        with pytest.raises(ValueError, match="0/1"):
+            scenario_case_delays(
+                small_mac, [0.0], fresh_cells, case_analysis={"a[0]": 2}
+            )
