@@ -1,0 +1,158 @@
+"""Benchmarks of the batched time-wheel event engine.
+
+The headline assertion matches the PR acceptance criterion: at 1024 lanes
+on the paper's MAC the batched :class:`EventWheelSimulator` must beat the
+scalar delta-cycle event loop (one ``TimingSimulator.propagate`` per lane)
+by >= 3x, with bit-identical timelines asserted before anything is timed.
+
+A softer benchmark records the measured throughput ratio at the
+``EVENT_BACKEND_MIN_LANES`` crossover width that the ``"auto"`` selection
+heuristic encodes, and the counter-based observability assertions (events
+popped, wheel buckets) run everywhere.
+
+Like the other wall-clock suites, the speedup assertions are skipped on
+machines with fewer than 4 usable CPUs, where shared/noisy hardware makes
+ratios unreliable.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.aging.cell_library import AgingAwareLibrarySet
+from repro.circuits.backends import EVENT_BACKEND_MIN_LANES, EventWheelSimulator
+from repro.circuits.mac import build_mac
+from repro.circuits.simulator import TimingSimulator
+from repro.parallel import usable_cpu_count
+
+#: Batch width of the headline speedup measurement (>= 1024-lane criterion).
+WIDE_LANES = 1024
+#: Required wheel-over-scalar speedup at WIDE_LANES.
+REQUIRED_SPEEDUP = 3.0
+#: Minimum usable CPUs for a meaningful wall-clock ratio (matches the
+#: backend benchmark's skip rule).
+MIN_CPUS = 4
+
+_MAC = build_mac()
+_LIBRARIES = AgingAwareLibrarySet.generate((0.0, 50.0))
+
+
+def _batch_inputs(rng, lanes):
+    return {
+        bus: [int(value) for value in rng.integers(0, 1 << len(nets), size=lanes)]
+        for bus, nets in _MAC.netlist.input_buses.items()
+    }
+
+
+def _lane_slice(batch, lane):
+    return {bus: values[lane] for bus, values in batch.items()}
+
+
+def _time_scalar_sweep(simulator, previous, current, lanes, repetitions=3):
+    best = float("inf")
+    evaluations = None
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        evaluations = [
+            simulator.propagate(_lane_slice(previous, lane), _lane_slice(current, lane))
+            for lane in range(lanes)
+        ]
+        best = min(best, time.perf_counter() - start)
+    return best, evaluations
+
+
+def test_bench_wheel_beats_scalar_event_loop_at_wide_batches(benchmark):
+    """The time-wheel must be >= 3x faster at 1024-lane MAC event batches."""
+    if usable_cpu_count() < MIN_CPUS:
+        pytest.skip(
+            f"needs >= {MIN_CPUS} usable CPUs for a reliable wall-clock "
+            f"ratio (have {usable_cpu_count()})"
+        )
+    library = _LIBRARIES.library(50.0)
+    rng = np.random.default_rng(0)
+    previous = _batch_inputs(rng, WIDE_LANES)
+    current = _batch_inputs(rng, WIDE_LANES)
+
+    wheel = EventWheelSimulator(_MAC.netlist, library)
+    scalar = TimingSimulator(_MAC.netlist, library, arrival_model="event")
+
+    # Bit-identical results on a sampled lane subset before timing anything
+    # (a full-lane sweep is the cross-engine suite's job, not a benchmark's).
+    evaluation = wheel.propagate_batch(previous, current)
+    finals = evaluation.final_outputs()
+    clock = max(float(np.median(evaluation.worst_arrival_ps)), 1e-3)
+    captured = evaluation.captured_outputs(clock)
+    for lane in range(0, WIDE_LANES, WIDE_LANES // 16):
+        reference = scalar.propagate(
+            _lane_slice(previous, lane), _lane_slice(current, lane)
+        )
+        assert _lane_slice(finals, lane) == reference.final_outputs
+        assert _lane_slice(captured, lane) == reference.captured_outputs(clock)
+        assert float(evaluation.worst_arrival_ps[lane]) == reference.worst_arrival_ps
+
+    wheel_eval = benchmark.pedantic(
+        lambda: wheel.propagate_batch(previous, current), rounds=3, iterations=1
+    )
+    wheel_elapsed = benchmark.stats.stats.min
+    scalar_elapsed, _ = _time_scalar_sweep(scalar, previous, current, WIDE_LANES)
+
+    speedup = scalar_elapsed / wheel_elapsed
+    benchmark.extra_info["lanes"] = WIDE_LANES
+    benchmark.extra_info["scalar_s"] = scalar_elapsed
+    benchmark.extra_info["speedup_vs_scalar"] = speedup
+    benchmark.extra_info["events_popped"] = wheel_eval.counters.events_popped
+    benchmark.extra_info["wheel_buckets"] = wheel_eval.counters.wheel_buckets
+    benchmark.extra_info["glitches"] = wheel_eval.counters.total_glitches
+    assert speedup >= REQUIRED_SPEEDUP
+
+
+def test_bench_crossover_width(benchmark):
+    """At the auto-selection crossover the wheel already holds its own."""
+    if usable_cpu_count() < MIN_CPUS:
+        pytest.skip(
+            f"needs >= {MIN_CPUS} usable CPUs for a reliable wall-clock "
+            f"ratio (have {usable_cpu_count()})"
+        )
+    library = _LIBRARIES.library(50.0)
+    rng = np.random.default_rng(1)
+    lanes = EVENT_BACKEND_MIN_LANES
+    previous = _batch_inputs(rng, lanes)
+    current = _batch_inputs(rng, lanes)
+    wheel = EventWheelSimulator(_MAC.netlist, library)
+    scalar = TimingSimulator(_MAC.netlist, library, arrival_model="event")
+
+    wheel.propagate_batch(previous, current)  # warm schedules
+    benchmark.pedantic(
+        lambda: wheel.propagate_batch(previous, current), rounds=5, iterations=1
+    )
+    wheel_elapsed = benchmark.stats.stats.min
+    scalar_elapsed, _ = _time_scalar_sweep(scalar, previous, current, lanes)
+
+    ratio = scalar_elapsed / wheel_elapsed
+    benchmark.extra_info["lanes"] = lanes
+    benchmark.extra_info["speedup_vs_scalar"] = ratio
+    # The heuristic switches exactly where the wheel stops losing; leave
+    # slack for timer noise but catch a regression that moves the crossover.
+    assert ratio >= 1.0
+
+
+def test_bench_wheel_observability_counters(benchmark):
+    """Counter-based batching evidence that runs on any hardware."""
+    library = _LIBRARIES.library(50.0)
+    rng = np.random.default_rng(2)
+    lanes = 256
+    previous = _batch_inputs(rng, lanes)
+    current = _batch_inputs(rng, lanes)
+    wheel = EventWheelSimulator(_MAC.netlist, library)
+
+    evaluation = benchmark(lambda: wheel.propagate_batch(previous, current))
+    counters = evaluation.counters
+    assert counters.events_popped > 0
+    assert 0 <= counters.events_suppressed <= counters.events_popped
+    # The whole batch shares one wheel: bucket count is bounded by the
+    # union of per-lane bucket sets, far below lanes x per-lane buckets.
+    assert 0 < counters.wheel_buckets < counters.events_popped
+    benchmark.extra_info["lanes"] = lanes
+    benchmark.extra_info["events_popped"] = counters.events_popped
+    benchmark.extra_info["wheel_buckets"] = counters.wheel_buckets

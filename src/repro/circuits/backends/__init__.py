@@ -3,8 +3,8 @@
 See :mod:`repro.circuits.backends.base` for the protocol and
 :mod:`repro.circuits.backends.registry` for name resolution and the
 batch-width auto-selection heuristic.  Importing this package registers the
-three built-in backends (``scalar``, ``bigint``, ``ndarray``) as stateless
-singletons.
+four built-in backends (``scalar``, ``bigint``, ``ndarray``, ``event``) as
+stateless singletons.
 """
 
 from __future__ import annotations
@@ -15,6 +15,11 @@ from repro.circuits.backends.base import (
     SimulationBackend,
 )
 from repro.circuits.backends.bigint import BigintBackend
+from repro.circuits.backends.event import (
+    EventBackend,
+    EventTimedEvaluation,
+    EventWheelSimulator,
+)
 from repro.circuits.backends.lane import (
     GRAPH_LAYOUTS,
     LaneBackend,
@@ -22,11 +27,13 @@ from repro.circuits.backends.lane import (
     LaneTimingSimulator,
     LevelizedGraph,
     corner_case_delays,
+    lane_error_counters,
     levelized_graph,
     levelized_graph_cache_stats,
 )
 from repro.circuits.backends.registry import (
     BACKEND_ALIASES,
+    EVENT_BACKEND_MIN_LANES,
     LANE_BACKEND_MIN_LANES,
     auto_select,
     backend_names,
@@ -39,10 +46,13 @@ from repro.circuits.backends.scalar import ScalarBackend
 SCALAR_BACKEND = register_backend(ScalarBackend())
 BIGINT_BACKEND = register_backend(BigintBackend())
 NDARRAY_BACKEND = register_backend(LaneBackend())
+EVENT_BACKEND = register_backend(EventBackend())
 
 __all__ = [
     "BACKEND_ALIASES",
     "BIGINT_BACKEND",
+    "EVENT_BACKEND",
+    "EVENT_BACKEND_MIN_LANES",
     "GRAPH_LAYOUTS",
     "LANE_BACKEND_MIN_LANES",
     "NDARRAY_BACKEND",
@@ -50,6 +60,9 @@ __all__ = [
     "BatchedSimulationBackend",
     "BigintBackend",
     "ErrorCounters",
+    "EventBackend",
+    "EventTimedEvaluation",
+    "EventWheelSimulator",
     "LaneBackend",
     "LaneTimedEvaluation",
     "LaneTimingSimulator",
@@ -60,6 +73,7 @@ __all__ = [
     "backend_names",
     "corner_case_delays",
     "get_backend",
+    "lane_error_counters",
     "levelized_graph",
     "levelized_graph_cache_stats",
     "register_backend",

@@ -1,9 +1,9 @@
 """The :class:`SimulationBackend` protocol.
 
-A simulation backend bundles one physical representation of the levelized
-two-vector data path — how net values are stored, how a level of gates is
-evaluated, and how per-lane arrival times are propagated — behind a uniform
-interface.  Three implementations are registered by default:
+A simulation backend bundles one physical representation of the
+two-vector data path — how net values are stored, how gates are evaluated,
+and how per-lane arrival times are propagated — behind a uniform
+interface.  Four implementations are registered by default:
 
 ========== ===================================================== ==============
 name       net-value representation                              arrival models
@@ -14,6 +14,9 @@ bigint     one arbitrary-precision int per net, bit ``k`` =      settle,
            lane ``k`` (word-packed Monte-Carlo lanes)            transition
 ndarray    one ``uint64[ceil(lanes / 64)]`` NumPy row per net,   settle,
            a whole level of same-type gates per ufunc call       transition
+event      one ``uint64[ceil(lanes / 64)]`` NumPy row per net,   event
+           delta-cycle time wheel committing whole lane-mask
+           buckets per arrival time (glitch-exact)
 ========== ===================================================== ==============
 
 Every backend must be **bit-identical** to the scalar reference for the

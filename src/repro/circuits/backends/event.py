@@ -1,0 +1,430 @@
+"""Batched event-driven timing engine (time-wheel lanes).
+
+The fourth simulation backend: glitch-exact event-driven simulation of many
+vector-pair lanes at once.  The scalar :class:`~repro.circuits.simulator.
+TimingSimulator` propagates one vector pair through a delta-cycle time
+wheel; this engine runs the *same* wheel over ``(nets, ceil(lanes / 64))``
+uint64 lane words, so one bucket step covers every lane that has an event
+pending at that time.
+
+Time wheel
+----------
+
+Events are bucketed by **exact float arrival time**.  Gate delays come from
+the same :func:`~repro.aging.scenarios.base.resolve_gate_delays` funnel as
+every other engine, and a child event's time is computed as
+``bucket time + gate delay`` with the identical float operation in both
+engines, so the scalar and batched wheels visit identical bucket keys —
+the root of the bit-identity contract (no quantisation, no epsilon
+comparisons).  Each bucket holds one pending ``[lane mask, value word]``
+slot per net (last write wins per lane, exactly the scalar wheel's one
+value per ``(net, time)`` slot); processing a bucket
+
+1. commits every pending slot: ``changed = mask & (value ^ current)``,
+   XOR-applied to the net's lane row, appending ``(time, changed mask,
+   new row)`` to the event log of output-bus rows;
+2. collects the affected sink gates (a gate is affected in the union of
+   its input rows' changed masks);
+3. evaluates each affected gate once on the committed lane words with
+   :data:`~repro.circuits.gates.WORD_CELL_FUNCTIONS` and schedules its
+   output at ``time + delay``, merging into an existing ``(net, time)``
+   slot lane-wise.
+
+Gate delays are strictly positive (validated at construction), so a bucket
+never schedules into itself and the wheel terminates.
+
+Bit-identity
+------------
+
+For every lane ``k``, this wheel performs exactly the per-lane work of the
+scalar engine: a pending slot covers lane ``k`` iff the scalar wheel for
+lane ``k`` has that ``(net, time)`` event, and the committed value bit is
+the same word-function output.  ``tests/test_event_backend.py``
+property-tests the full evaluation surface — values, per-bit timelines,
+captured outputs, arrivals, worst arrival, and the lane-summed
+:class:`~repro.circuits.simulator.EventCounters` — against the scalar
+engine across aging-scenario families.
+
+The committed-change stream doubles as glitch-aware switching activity:
+:attr:`EventTimedEvaluation.commit_counts` holds per-net toggle counts
+summed over lanes (glitches included), which
+:func:`repro.power.switching.estimate_switching_activity` consumes in its
+``mode="event"`` path.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.aging.scenarios.base import resolve_gate_delays
+from repro.circuits.backends.base import BatchedSimulationBackend, ErrorCounters
+from repro.circuits.backends.lane import (
+    LaneTimedEvaluation,
+    lane_error_counters,
+    levelized_graph,
+)
+from repro.circuits.gates import WORD_CELL_FUNCTIONS
+from repro.circuits.netlist import Netlist
+from repro.circuits.simulator import EventCounters, TimedEvaluation
+from repro.utils.bitops import UINT64_MASK, lane_array_to_bits
+
+__all__ = [
+    "EventBackend",
+    "EventTimedEvaluation",
+    "EventWheelSimulator",
+]
+
+
+def _popcount(words: np.ndarray) -> int:
+    """Total set bits of a packed lane word row."""
+    return int(np.bitwise_count(words).sum())
+
+
+@dataclass
+class EventTimedEvaluation(LaneTimedEvaluation):
+    """Result of a batched event-driven (time-wheel) simulation.
+
+    Extends :class:`~repro.circuits.backends.lane.LaneTimedEvaluation` with
+    the per-bit event logs the glitch-exact model needs: where the
+    levelized evaluations reduce each bit to one arrival time, the event
+    evaluation keeps the full committed-change sequence and *replays* it
+    for capture.
+
+    Attributes (beyond the lane-evaluation ones):
+        event_logs: per output bus, an LSB-first list holding for every bit
+            the chronological ``(time_ps, changed lane mask, value lane
+            row)`` commits (packed uint64 rows; a lane participates in a
+            commit iff its mask bit is set).
+        counters: lane-aggregated :class:`~repro.circuits.simulator.
+            EventCounters` of the propagation (``events_popped`` /
+            ``events_suppressed`` / ``glitches_per_net`` summed over lanes;
+            ``wheel_buckets`` counts the union of per-lane bucket sets).
+        commit_counts: per net name, total committed value changes summed
+            over lanes (zero-count nets omitted) — the glitch-aware toggle
+            stream consumed by the switching-activity estimator.
+
+    Note on arrivals: like the scalar event engine (and unlike the
+    levelized evaluations), ``output_arrivals_ps`` reports the time of the
+    *last commit* of a bit, so a bit that glitches but returns to its
+    previous value still carries a non-zero arrival.
+    """
+
+    event_logs: dict[str, list[list[tuple[float, np.ndarray, np.ndarray]]]] = field(
+        default_factory=dict
+    )
+    counters: EventCounters = field(default_factory=EventCounters)
+    commit_counts: dict[str, int] = field(default_factory=dict)
+
+    def captured_output_words(self, clock_period_ps: float) -> dict[str, np.ndarray]:
+        """Per-bit lane rows captured by a flip-flop at the clock edge.
+
+        Replays each bit's committed changes up to and including the edge
+        (an event landing exactly at ``time_ps == clock_period_ps`` is
+        captured, matching the scalar engine's ``time_ps >
+        clock_period_ps`` break); lanes with no commit by the edge keep the
+        stale value of the previous computation.
+        """
+        if clock_period_ps <= 0:
+            raise ValueError("clock_period_ps must be positive")
+        captured: dict[str, np.ndarray] = {}
+        for bus, previous in self.previous_output_words.items():
+            words = previous.copy()
+            for bit, log in enumerate(self.event_logs[bus]):
+                row = words[bit]
+                for time_ps, mask, value in log:
+                    if time_ps > clock_period_ps:
+                        break
+                    row ^= (row ^ value) & mask
+            captured[bus] = words
+        return captured
+
+    def lane_bit_timeline(self, bus: str, bit: int, lane: int) -> list[tuple[float, int]]:
+        """One lane's chronological ``(time_ps, value)`` changes of one bit.
+
+        Exactly the scalar evaluation's ``output_bit_timelines[bus][bit]``
+        for the same lane (empty if the bit never moves in that lane).
+        """
+        word_index, shift = divmod(lane, 64)
+        changes: list[tuple[float, int]] = []
+        for time_ps, mask, value in self.event_logs[bus][bit]:
+            if (int(mask[word_index]) >> shift) & 1:
+                changes.append((time_ps, (int(value[word_index]) >> shift) & 1))
+        return changes
+
+    def lane_timed_evaluation(self, lane: int) -> TimedEvaluation:
+        """Rebuild the scalar :class:`TimedEvaluation` of one lane.
+
+        Convenience for tests and spot checks; bit-identical to running the
+        scalar event engine on that lane's vector pair.
+        """
+        final = self.final_outputs()
+        previous = self.previous_outputs()
+        timelines = {
+            bus: [
+                self.lane_bit_timeline(bus, bit, lane)
+                for bit in range(len(self.event_logs[bus]))
+            ]
+            for bus in self.event_logs
+        }
+        arrivals = {
+            bus: [float(per_bit[lane]) for per_bit in bus_arrivals]
+            for bus, bus_arrivals in self.output_arrivals_ps.items()
+        }
+        return TimedEvaluation(
+            final_outputs={bus: values[lane] for bus, values in final.items()},
+            previous_outputs={bus: values[lane] for bus, values in previous.items()},
+            output_bit_timelines=timelines,
+            output_arrivals_ps=arrivals,
+            worst_arrival_ps=float(self.worst_arrival_ps[lane]),
+        )
+
+
+class EventWheelSimulator:
+    """Batched two-vector event-driven simulation on uint64 lane words.
+
+    Bit-for-bit equivalent to running the scalar
+    :class:`~repro.circuits.simulator.TimingSimulator` (``"event"`` model)
+    once per lane; see the module docstring for the wheel design.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        library,
+        arrival_model: str = "event",
+    ) -> None:
+        if arrival_model != "event":
+            raise ValueError(
+                f"arrival_model must be 'event' for the time-wheel backend, "
+                f"got {arrival_model!r} (the levelized models run on the "
+                f"'bigint'/'ndarray' backends)"
+            )
+        self.netlist = netlist
+        self.library = library
+        self.arrival_model = arrival_model
+        self.graph = levelized_graph(netlist)
+        graph = self.graph
+
+        order = netlist.topological_gates()
+        delay_table = resolve_gate_delays(netlist, library)
+        self._gate_delay = [float(delay_table[gate]) for gate in order]
+        if self._gate_delay and min(self._gate_delay) <= 0.0:
+            raise ValueError(
+                "the time-wheel engine requires strictly positive gate "
+                "delays (a zero-delay gate would reschedule into its own "
+                "bucket)"
+            )
+        self._gate_func = [WORD_CELL_FUNCTIONS[gate.cell_name] for gate in order]
+        self._gate_input_rows = [
+            tuple(graph.net_row[net] for net in gate.inputs) for gate in order
+        ]
+        self._gate_output_row = [int(graph.net_row[gate.output]) for gate in order]
+
+        # Deduplicated sink gate indices per net row (a gate listing one net
+        # on several pins is still evaluated once per bucket).
+        sinks: list[list[int]] = [[] for _ in range(graph.num_nets)]
+        for index, rows in enumerate(self._gate_input_rows):
+            for row in dict.fromkeys(rows):
+                sinks[row].append(index)
+        self._sinks = [tuple(gate_indices) for gate_indices in sinks]
+
+        self._row_net_name: list[str] = [""] * graph.num_nets
+        for net in netlist.nets.values():
+            self._row_net_name[graph.net_row[net]] = net.name
+
+        # Rows whose committed changes must be event-logged (output buses).
+        self._log_rows = {
+            int(row) for rows in graph.output_bus_rows.values() for row in rows
+        }
+
+        #: Counters of the most recent propagation (``None`` until the
+        #: first ``propagate_batch``); also carried on each evaluation.
+        self.last_event_counters: EventCounters | None = None
+
+    def propagate_batch(
+        self,
+        previous_inputs: Mapping[str, Sequence[int]],
+        current_inputs: Mapping[str, Sequence[int]],
+    ) -> EventTimedEvaluation:
+        """Simulate the per-lane transitions from previous to current vectors."""
+        graph = self.graph
+        prev_values, prev_lanes = graph.pack_inputs(previous_inputs)
+        graph.evaluate(prev_values)
+        curr_inputs, lanes = graph.pack_inputs(current_inputs)
+        if prev_lanes != lanes:
+            raise ValueError(
+                f"previous and current batches differ in lanes ({prev_lanes} vs {lanes})"
+            )
+        values = prev_values.copy()
+        logs: dict[int, list[tuple[float, np.ndarray, np.ndarray]]] = {
+            row: [] for row in self._log_rows
+        }
+        commit_counts = np.zeros(graph.num_nets, dtype=np.int64)
+        popped = suppressed = buckets = 0
+
+        # The wheel: bucket time -> {net row: [pending lane mask, value row]},
+        # with a heap ordering the bucket times.
+        pending: dict[float, dict[int, list[np.ndarray]]] = {}
+        heap: list[float] = []
+        first: dict[int, list[np.ndarray]] = {}
+        for rows in graph.input_bus_rows.values():
+            for row in rows:
+                row = int(row)
+                diff = curr_inputs[row] ^ prev_values[row]
+                if diff.any():
+                    first[row] = [diff, curr_inputs[row]]
+        if first:
+            pending[0.0] = first
+            heap.append(0.0)
+
+        sinks = self._sinks
+        funcs = self._gate_func
+        input_rows = self._gate_input_rows
+        output_row = self._gate_output_row
+        delays = self._gate_delay
+        log_rows = self._log_rows
+
+        while heap:
+            time_ps = heapq.heappop(heap)
+            bucket = pending.pop(time_ps)
+            buckets += 1
+            gate_masks: dict[int, np.ndarray] = {}
+            for row, (mask, value) in bucket.items():
+                mask_bits = _popcount(mask)
+                popped += mask_bits
+                changed = mask & (value ^ values[row])
+                changed_bits = _popcount(changed)
+                suppressed += mask_bits - changed_bits
+                if changed_bits == 0:
+                    continue
+                values[row] ^= changed
+                commit_counts[row] += changed_bits
+                if row in log_rows:
+                    logs[row].append((time_ps, changed, values[row].copy()))
+                for gate_index in sinks[row]:
+                    accumulated = gate_masks.get(gate_index)
+                    if accumulated is None:
+                        gate_masks[gate_index] = changed.copy()
+                    else:
+                        accumulated |= changed
+            for gate_index, gate_mask in gate_masks.items():
+                new_word = funcs[gate_index](
+                    UINT64_MASK, *(values[row] for row in input_rows[gate_index])
+                )
+                if new_word.base is not None:
+                    # BUF's word function returns its input row by identity,
+                    # i.e. a live view into ``values``; a scheduled slot must
+                    # hold a snapshot of the evaluation, not track later
+                    # commits to the source net.
+                    new_word = new_word.copy()
+                child_time = time_ps + delays[gate_index]
+                target = output_row[gate_index]
+                child = pending.get(child_time)
+                if child is None:
+                    pending[child_time] = {target: [gate_mask, new_word]}
+                    heapq.heappush(heap, child_time)
+                else:
+                    slot = child.get(target)
+                    if slot is None:
+                        child[target] = [gate_mask, new_word]
+                    else:
+                        slot_mask, slot_value = slot
+                        # Lane-wise last write wins, like the scalar wheel's
+                        # one value per (net, time) slot.
+                        slot[1] = slot_value ^ ((slot_value ^ new_word) & gate_mask)
+                        slot_mask |= gate_mask
+
+        return self._build_evaluation(
+            prev_values, values, logs, commit_counts, popped, suppressed, buckets, lanes
+        )
+
+    # ----------------------------------------------------------------- result
+    def _build_evaluation(
+        self,
+        prev_values: np.ndarray,
+        values: np.ndarray,
+        logs: dict[int, list[tuple[float, np.ndarray, np.ndarray]]],
+        commit_counts: np.ndarray,
+        popped: int,
+        suppressed: int,
+        buckets: int,
+        lanes: int,
+    ) -> EventTimedEvaluation:
+        graph = self.graph
+        final_output_words: dict[str, np.ndarray] = {}
+        previous_output_words: dict[str, np.ndarray] = {}
+        output_arrivals: dict[str, np.ndarray] = {}
+        event_logs: dict[str, list[list[tuple[float, np.ndarray, np.ndarray]]]] = {}
+        worst = np.zeros(lanes)
+        for bus, rows in graph.output_bus_rows.items():
+            final_output_words[bus] = values[rows]
+            previous_output_words[bus] = prev_values[rows]
+            bus_arrivals = np.zeros((rows.size, lanes))
+            bus_logs: list[list[tuple[float, np.ndarray, np.ndarray]]] = []
+            for index, row in enumerate(rows):
+                log = logs[int(row)]
+                bus_logs.append(log)
+                arrival_row = bus_arrivals[index]
+                # Chronological commits: the last assignment per lane wins,
+                # so this reproduces the scalar "last change time" arrival
+                # (glitch-only bits included).
+                for time_ps, mask, _value in log:
+                    arrival_row[lane_array_to_bits(mask, lanes)] = time_ps
+            if bus_arrivals.size:
+                np.maximum(worst, bus_arrivals.max(axis=0), out=worst)
+            output_arrivals[bus] = bus_arrivals
+            event_logs[bus] = bus_logs
+
+        glitches: dict[str, int] = {}
+        for row in np.flatnonzero(commit_counts):
+            functional = _popcount(values[row] ^ prev_values[row])
+            extra = int(commit_counts[row]) - functional
+            if extra:
+                glitches[self._row_net_name[row]] = extra
+        counters = EventCounters(
+            events_popped=popped,
+            events_suppressed=suppressed,
+            wheel_buckets=buckets,
+            glitches_per_net=glitches,
+        )
+        self.last_event_counters = counters
+        commits = {
+            self._row_net_name[row]: int(commit_counts[row])
+            for row in np.flatnonzero(commit_counts)
+        }
+        return EventTimedEvaluation(
+            lanes=lanes,
+            final_output_words=final_output_words,
+            previous_output_words=previous_output_words,
+            output_arrivals_ps=output_arrivals,
+            worst_arrival_ps=worst,
+            event_logs=event_logs,
+            counters=counters,
+            commit_counts=commits,
+        )
+
+
+class EventBackend(BatchedSimulationBackend):
+    """Lane-batched time-wheel engine for the glitch-exact event model."""
+
+    name = "event"
+    arrival_models = ("event",)
+
+    def timing_simulator(self, netlist, library, arrival_model):
+        return EventWheelSimulator(netlist, library, arrival_model=arrival_model)
+
+    def _batch_counters(
+        self,
+        evaluation: EventTimedEvaluation,
+        clock_period_ps,
+        output_bus,
+        msb_count,
+        width,
+    ) -> ErrorCounters:
+        return lane_error_counters(
+            evaluation, clock_period_ps, output_bus, msb_count, width
+        )

@@ -747,8 +747,8 @@ class LaneTimingSimulator:
         if arrival_model not in BATCH_ARRIVAL_MODELS:
             raise ValueError(
                 f"arrival_model must be one of {BATCH_ARRIVAL_MODELS} "
-                f"(the event-driven model is only available on the scalar "
-                f"TimingSimulator)"
+                f"(the event-driven model runs on the scalar TimingSimulator "
+                f"or the batched 'event' time-wheel backend)"
             )
         self.netlist = netlist
         self.library = library
@@ -1017,6 +1017,49 @@ class LaneTimingSimulator:
         )
 
 
+def lane_error_counters(
+    evaluation,
+    clock_period_ps,
+    output_bus,
+    msb_count,
+    width,
+) -> ErrorCounters:
+    """Error counters of one lane-array evaluation batch.
+
+    Shared by every backend whose evaluation keeps ``(bits, words)`` uint64
+    rows (the ndarray lane backend and the batched event backend):
+    ``evaluation`` only needs ``lanes``, ``final_output_words``, and
+    ``captured_output_words``.
+    """
+    lanes = evaluation.lanes
+    exact_bits = lane_array_to_bits(
+        evaluation.final_output_words[output_bus][:width], lanes
+    )
+    captured_bits = lane_array_to_bits(
+        evaluation.captured_output_words(clock_period_ps)[output_bus][:width],
+        lanes,
+    )
+    difference = exact_bits ^ captured_bits
+    # int64 weights overflow from bit 63 up; wide buses fall back to
+    # exact Python-int weights on an object array (same rule as the
+    # evaluation _unpack).
+    if width <= 62:
+        weights = np.int64(1) << np.arange(width, dtype=np.int64)
+        exact_values = exact_bits.T.astype(np.int64) @ weights
+        captured_values = captured_bits.T.astype(np.int64) @ weights
+    else:
+        weights = np.array([1 << bit for bit in range(width)], dtype=object)
+        # matmul has no object-dtype kernel; dot does.
+        exact_values = exact_bits.T.astype(object).dot(weights)
+        captured_values = captured_bits.T.astype(object).dot(weights)
+    return ErrorCounters(
+        difference.sum(axis=1).astype(np.int64),
+        int(difference[width - msb_count :].any(axis=0).sum()),
+        int(difference.any(axis=0).sum()),
+        float(np.abs(exact_values - captured_values).sum()),
+    )
+
+
 class LaneBackend(BatchedSimulationBackend):
     """Dense uint64 lane arrays, one level of same-type gates per ufunc."""
 
@@ -1034,30 +1077,6 @@ class LaneBackend(BatchedSimulationBackend):
         msb_count,
         width,
     ) -> ErrorCounters:
-        lanes = evaluation.lanes
-        exact_bits = lane_array_to_bits(
-            evaluation.final_output_words[output_bus][:width], lanes
-        )
-        captured_bits = lane_array_to_bits(
-            evaluation.captured_output_words(clock_period_ps)[output_bus][:width],
-            lanes,
-        )
-        difference = exact_bits ^ captured_bits
-        # int64 weights overflow from bit 63 up; wide buses fall back to
-        # exact Python-int weights on an object array (same rule as the
-        # evaluation _unpack).
-        if width <= 62:
-            weights = np.int64(1) << np.arange(width, dtype=np.int64)
-            exact_values = exact_bits.T.astype(np.int64) @ weights
-            captured_values = captured_bits.T.astype(np.int64) @ weights
-        else:
-            weights = np.array([1 << bit for bit in range(width)], dtype=object)
-            # matmul has no object-dtype kernel; dot does.
-            exact_values = exact_bits.T.astype(object).dot(weights)
-            captured_values = captured_bits.T.astype(object).dot(weights)
-        return ErrorCounters(
-            difference.sum(axis=1).astype(np.int64),
-            int(difference[width - msb_count :].any(axis=0).sum()),
-            int(difference.any(axis=0).sum()),
-            float(np.abs(exact_values - captured_values).sum()),
+        return lane_error_counters(
+            evaluation, clock_period_ps, output_bus, msb_count, width
         )

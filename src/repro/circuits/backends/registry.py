@@ -12,8 +12,12 @@ Auto-selection
 ``"auto"`` picks the fastest registered backend for the requested arrival
 model and batch width:
 
-* the ``"event"`` arrival model is inherently per-vector, so it always
-  resolves to the scalar backend;
+* the ``"event"`` arrival model resolves to the scalar backend for narrow
+  batches and to the batched time-wheel backend
+  (:mod:`repro.circuits.backends.event`) once the batch is at least
+  :data:`EVENT_BACKEND_MIN_LANES` lanes wide, the measured crossover where
+  lane-word bucket commits beat the per-vector Python wheel (see
+  ``benchmarks/test_bench_events.py``);
 * the levelized models resolve to the bigint word-packed backend for
   narrow batches and to the NumPy ``uint64``-lane backend once the batch
   is at least :data:`LANE_BACKEND_MIN_LANES` lanes wide, the measured
@@ -35,8 +39,22 @@ from repro.circuits.simulator import ARRIVAL_MODELS
 #: re-measures and asserts this).
 LANE_BACKEND_MIN_LANES = 512
 
+#: Batch width (in lanes) from which ``"auto"`` prefers the batched
+#: time-wheel event backend over the scalar event loop.  The wheel's
+#: per-bucket cost is nearly lane-independent (a handful of uint64-word
+#: ufunc calls per pending net), so its advantage grows with width.
+#: Measured on the paper's MAC: ~1x at 64 lanes, 1.3x at 128, 2x at 256,
+#: 7x at 1024, 40x at 8192 (``benchmarks/test_bench_events.py``
+#: re-measures and asserts >= 3x at 1024 lanes).
+EVENT_BACKEND_MIN_LANES = 128
+
 #: Historical aliases accepted wherever a backend name is expected.
-BACKEND_ALIASES = {"batch": "bigint", "lane": "ndarray", "numpy": "ndarray"}
+BACKEND_ALIASES = {
+    "batch": "bigint",
+    "lane": "ndarray",
+    "numpy": "ndarray",
+    "wheel": "event",
+}
 
 _REGISTRY: dict[str, SimulationBackend] = {}
 
@@ -82,6 +100,13 @@ def auto_select(arrival_model: str, batch_size: int) -> SimulationBackend:
     batched = [backend for backend in candidates if backend.batched]
     if not batched:
         return candidates[0]
+    if arrival_model == "event":
+        if batch_size >= EVENT_BACKEND_MIN_LANES:
+            wheel = [backend for backend in batched if backend.name == "event"]
+            if wheel:
+                return wheel[0]
+        scalar = [backend for backend in candidates if not backend.batched]
+        return scalar[0] if scalar else batched[0]
     if batch_size >= LANE_BACKEND_MIN_LANES:
         wide = [backend for backend in batched if backend.name == "ndarray"]
         if wide:

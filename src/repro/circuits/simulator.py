@@ -10,6 +10,20 @@ Three simulators/models are provided:
   value of an output bit at the clock edge is exactly what a flip-flop would
   latch.  This is the engine behind the aged-multiplier error
   characterisation (the paper's Fig. 1a).
+
+  The event engine uses **delta-cycle (time-wheel) semantics**: pending
+  events are bucketed by exact arrival time, every same-time commit is
+  applied before any gate is re-evaluated, and each affected gate is
+  evaluated exactly once per bucket (scheduling one event for its output
+  at ``bucket time + gate delay``; a later evaluation targeting the same
+  ``(net, time)`` slot overwrites the earlier one).  These are the
+  canonical semantics of event-driven gate simulation: they never emit the
+  zero-width same-timestamp glitch pairs a naive per-commit scheduler
+  produces, and they are exactly the specification the batched time-wheel
+  engine (:mod:`repro.circuits.backends.event`) reproduces lane by lane.
+  Every propagation also fills :class:`EventCounters` (events popped,
+  stale suppressions, wheel buckets, per-net glitches) on the simulator's
+  ``last_event_counters`` attribute for observability.
 * Two analytic bounds, ``"settle"`` (pessimistic, glitch-aware upper bound on
   settling time) and ``"transition"`` (optimistic, functional transitions
   only), useful for quick envelope studies and for testing.
@@ -33,9 +47,10 @@ technique for high-throughput gate-level fault/timing simulation:
   arrival models (``"settle"`` and ``"transition"``); per-lane arrival times
   are carried as NumPy ``float64`` arrays of shape ``(W,)`` and combined
   with vectorised ``maximum``/``where`` operations, again one NumPy call per
-  gate per batch.  The event-driven model is inherently per-vector (each
-  lane produces its own glitch sequence) and stays on the scalar
-  :class:`TimingSimulator`.
+  gate per batch.  The event-driven model needs per-lane glitch sequences
+  and is batched separately by the time-wheel engine in
+  :mod:`repro.circuits.backends.event`, which shares the scalar engine's
+  delta-cycle semantics bucket by bucket.
 
 Both batched classes are bit-for-bit equivalent to running their scalar
 counterpart once per lane; ``tests/test_batch_simulator.py`` enforces this
@@ -44,14 +59,15 @@ with property-based equivalence tests.
 The engines in this module are consumed through the pluggable backend
 registry of :mod:`repro.circuits.backends` (``scalar`` wraps
 :class:`TimingSimulator`, ``bigint`` wraps :class:`BatchTimingSimulator`,
-and the ``ndarray`` uint64-lane engine lives in
-:mod:`repro.circuits.backends.lane`).
+the ``ndarray`` uint64-lane engine lives in
+:mod:`repro.circuits.backends.lane`, and the batched ``event`` time-wheel
+engine in :mod:`repro.circuits.backends.event`).
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from collections.abc import Mapping, Sequence
 
 import numpy as np
@@ -61,6 +77,7 @@ from repro.aging.scenarios.base import AgingScenario, resolve_gate_delays
 from repro.circuits.constants import propagate_constants
 from repro.circuits.gates import CELL_FUNCTIONS, WORD_CELL_FUNCTIONS
 from repro.circuits.netlist import (
+    Gate,
     Net,
     Netlist,
     bits_to_bus_values,
@@ -79,6 +96,7 @@ __all__ = [
     "BatchLogicSimulator",
     "BatchTimedEvaluation",
     "BatchTimingSimulator",
+    "EventCounters",
     "LogicSimulator",
     "TimedEvaluation",
     "TimingSimulator",
@@ -90,6 +108,50 @@ ARRIVAL_MODELS = ("event", "settle", "transition")
 
 #: Arrival models supported by the batched (bit-parallel) timing engine.
 BATCH_ARRIVAL_MODELS = ("settle", "transition")
+
+
+@dataclass
+class EventCounters:
+    """Observability counters of one event-driven propagation.
+
+    Both event engines (the scalar :class:`TimingSimulator` and the batched
+    time-wheel engine in :mod:`repro.circuits.backends.event`) fill one of
+    these per ``propagate``/``propagate_batch`` call, mirroring the
+    ``levelized_passes`` / layout-locality counters of the lane backend.
+
+    Attributes:
+        events_popped: scheduled events taken off the wheel.  In the batched
+            engine one ``(net, time)`` bucket entry counts once per pending
+            lane, so the scalar counters summed over the lanes of a batch
+            equal the batched counters exactly.
+        events_suppressed: popped events discarded as stale because the
+            scheduled value already equals the net's current value (the
+            glitch-filtering work the wheel avoids committing).
+        wheel_buckets: distinct arrival-time buckets processed.  This one is
+            *per propagation*, not per lane: the batched engine walks the
+            union of the per-lane bucket sets, so per-lane scalar counts
+            bound it (``max over lanes <= batched <= sum over lanes``).
+        glitches_per_net: for every net that committed more changes than its
+            functional transition needs, ``commits - functional`` (keyed by
+            net name; a net whose final value differs from its previous one
+            needs exactly 1 commit, an unchanged net 0).  Summed over lanes
+            in the batched engine.
+    """
+
+    events_popped: int = 0
+    events_suppressed: int = 0
+    wheel_buckets: int = 0
+    glitches_per_net: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def events_committed(self) -> int:
+        """Events that actually changed a net value."""
+        return self.events_popped - self.events_suppressed
+
+    @property
+    def total_glitches(self) -> int:
+        """Glitch commits summed over all nets (and lanes, if batched)."""
+        return sum(self.glitches_per_net.values())
 
 
 class LogicSimulator:
@@ -208,6 +270,9 @@ class TimingSimulator:
         # never transition and must not contribute arrival time (this keeps
         # settle times bounded by the STA critical path).
         self._structural_constants = propagate_constants(netlist)
+        #: Counters of the most recent event-driven propagation (``None``
+        #: until the first ``propagate`` under the ``"event"`` model).
+        self.last_event_counters: EventCounters | None = None
 
     # ------------------------------------------------------------------ public
     def propagate(
@@ -229,34 +294,64 @@ class TimingSimulator:
         prev_values: dict[Net, int],
         current_inputs: Mapping[str, int],
     ) -> tuple[dict[Net, int], dict[Net, list[tuple[float, int]]]]:
+        """Delta-cycle time-wheel propagation (see the module docstring).
+
+        Pending events are bucketed by exact arrival time in ``pending``
+        (one value per ``(net, time)`` slot, last write wins); the heap
+        orders the bucket times.  Each bucket commits all of its net changes
+        first, then evaluates every affected sink gate exactly once and
+        schedules its output at ``time + gate delay``.  Gate delays are
+        strictly positive (guarded in ``__init__`` callers via the library),
+        so a bucket never reschedules into itself and the wheel terminates.
+        """
         input_bits = bus_values_to_bits(dict(current_inputs), self.netlist.input_buses)
         values = dict(prev_values)
         timelines: dict[Net, list[tuple[float, int]]] = {}
+        counters = EventCounters()
 
-        # Event queue ordered by time; the sequence number keeps ordering
-        # stable for simultaneous events.
-        queue: list[tuple[float, int, Net, int]] = []
-        sequence = 0
-        for net, new_value in input_bits.items():
-            if new_value != prev_values[net]:
-                heapq.heappush(queue, (0.0, sequence, net, new_value))
-                sequence += 1
+        pending: dict[float, dict[Net, int]] = {}
+        heap: list[float] = []
+        first = {
+            net: new_value
+            for net, new_value in input_bits.items()
+            if new_value != prev_values[net]
+        }
+        if first:
+            pending[0.0] = first
+            heap.append(0.0)
 
-        while queue:
-            time_ps, _, net, value = heapq.heappop(queue)
-            if values[net] == value:
-                continue
-            values[net] = value
-            timelines.setdefault(net, []).append((time_ps, value))
-            for gate in net.sinks:
+        while heap:
+            time_ps = heapq.heappop(heap)
+            bucket = pending.pop(time_ps)
+            counters.wheel_buckets += 1
+            affected: dict[Gate, None] = {}
+            for net, value in bucket.items():
+                counters.events_popped += 1
+                if values[net] == value:
+                    counters.events_suppressed += 1
+                    continue
+                values[net] = value
+                timelines.setdefault(net, []).append((time_ps, value))
+                for gate in net.sinks:
+                    affected[gate] = None
+            for gate in affected:
                 new_output = CELL_FUNCTIONS[gate.cell_name](
                     *(values[inp] for inp in gate.inputs)
                 )
-                heapq.heappush(
-                    queue,
-                    (time_ps + self._gate_delay_ps[gate], sequence, gate.output, new_output),
-                )
-                sequence += 1
+                child_time = time_ps + self._gate_delay_ps[gate]
+                child = pending.get(child_time)
+                if child is None:
+                    pending[child_time] = {gate.output: new_output}
+                    heapq.heappush(heap, child_time)
+                else:
+                    child[gate.output] = new_output
+
+        for net, changes in timelines.items():
+            functional = 1 if values[net] != prev_values[net] else 0
+            glitches = len(changes) - functional
+            if glitches:
+                counters.glitches_per_net[net.name] = glitches
+        self.last_event_counters = counters
         return values, timelines
 
     # -------------------------------------------------------------- levelized
@@ -469,8 +564,9 @@ class BatchTimingSimulator:
     words, and per-lane arrival times are carried as ``(lanes,)`` NumPy
     arrays combined with vectorised max/where operations.
 
-    Only the levelized arrival models are supported; the event-driven model
-    tracks a per-vector glitch sequence and cannot be word-packed.
+    Only the levelized arrival models are supported here; the event-driven
+    model tracks per-lane glitch sequences and is batched by the time-wheel
+    engine in :mod:`repro.circuits.backends.event` instead.
     """
 
     def __init__(
@@ -482,8 +578,8 @@ class BatchTimingSimulator:
         if arrival_model not in BATCH_ARRIVAL_MODELS:
             raise ValueError(
                 f"arrival_model must be one of {BATCH_ARRIVAL_MODELS} "
-                f"(the event-driven model is only available on the scalar "
-                f"TimingSimulator)"
+                f"(the event-driven model runs on the scalar TimingSimulator "
+                f"or the batched 'event' time-wheel backend)"
             )
         self.netlist = netlist
         self.library = library

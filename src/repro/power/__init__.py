@@ -5,13 +5,18 @@ bits stop toggling, which reduces switching activity and therefore dynamic
 energy — this is the mechanism behind the paper's Fig. 5 (46 % average
 energy reduction).  The package estimates:
 
-* per-gate toggle rates from Monte-Carlo functional simulation
+* per-gate toggle rates from Monte-Carlo simulation — glitch-free
+  zero-delay counting or glitch-aware event-driven counting
   (:mod:`repro.power.switching`),
 * dynamic + leakage energy per operation from the cell library's
   characterisation data (:mod:`repro.power.energy`).
 """
 
-from repro.power.switching import SwitchingActivity, estimate_switching_activity
+from repro.power.switching import (
+    SWITCHING_MODES,
+    SwitchingActivity,
+    estimate_switching_activity,
+)
 from repro.power.energy import (
     EnergyModel,
     EnergyReport,
@@ -20,6 +25,7 @@ from repro.power.energy import (
 )
 
 __all__ = [
+    "SWITCHING_MODES",
     "SwitchingActivity",
     "estimate_switching_activity",
     "EnergyModel",

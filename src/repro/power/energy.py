@@ -5,9 +5,13 @@ The model prices a circuit's activity under a delay source: a plain
 leakage derating for the whole library) or an
 :class:`~repro.aging.scenarios.AgingScenario`, whose per-gate ΔVth draws
 derate each gate's leakage individually through the same
-:func:`~repro.aging.cell_library.leakage_derating_factor`.  Switching energy
-is aging-independent in this characterisation, so for a uniform scenario the
-two paths run the identical float operations and report bit-identical energy.
+:func:`~repro.aging.cell_library.leakage_derating_factor`.  The *per-toggle*
+switching energy is aging-independent in this characterisation, so for a
+uniform scenario the two paths run the identical float operations and report
+bit-identical energy.  The toggle *counts* themselves are aging-independent
+only for the default zero-delay activity; glitch-aware activity
+(``activity_mode="event"``) simulates the actual per-gate delays, so aging
+reshapes the glitch population and, through it, the dynamic energy.
 """
 
 from __future__ import annotations
@@ -230,6 +234,9 @@ class EnergyModel:
         rng: "int | None" = None,
         input_sampler: InputSampler | None = None,
         activity: SwitchingActivity | None = None,
+        activity_mode: str = "zero-delay",
+        workers: int = 0,
+        chunk_size: "int | None" = None,
     ) -> EnergyReport:
         """Simulate random traffic through ``target`` and report its energy.
 
@@ -238,8 +245,15 @@ class EnergyModel:
         clock) against operands restricted to the compressed quantized ranges
         (our technique, fresh clock).  Pass a precomputed ``activity`` to
         price the same traffic under many delay sources without re-simulating
-        (logic values are aging-independent, so array-scale scenario maps
-        simulate once and share the activity across every PE).
+        (zero-delay logic values are aging-independent, so array-scale
+        scenario maps simulate once and share the activity across every PE).
+
+        ``activity_mode="event"`` counts toggles with the batched
+        event-driven time wheel instead, using this model's own delay source
+        (the scenario if one was given, else the library), so glitches —
+        which the zero-delay baseline cannot see and which shift with aging —
+        are priced into the dynamic term.  ``workers``/``chunk_size``
+        parallelise the activity estimation without changing its result.
         """
         if activity is None:
             activity = estimate_switching_activity(
@@ -247,5 +261,13 @@ class EnergyModel:
                 num_transitions=num_transitions,
                 rng=rng,
                 input_sampler=input_sampler,
+                mode=activity_mode,
+                delay_source=(
+                    (self.scenario if self.scenario is not None else self.library)
+                    if activity_mode == "event"
+                    else None
+                ),
+                workers=workers,
+                chunk_size=chunk_size,
             )
         return self.energy_from_activity(target, activity, clock_period_ps)

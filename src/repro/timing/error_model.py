@@ -8,6 +8,13 @@ Output bits that settle after the clock edge capture stale values, producing
 the MSB-dominated error pattern the paper reports (rising Mean Error
 Distance and MSB bit-flip probability as aging grows).
 
+All four registered backends are reachable from here: with
+``arrival_model="event"`` the ``"auto"`` selector batches wide Monte-Carlo
+runs through the glitch-exact time-wheel backend
+(:mod:`repro.circuits.backends.event`) and falls back to the scalar event
+loop for narrow ones; the levelized settle/transition models pick between
+the bigint and ndarray lane backends by batch width.
+
 Aging scenarios
 ---------------
 
@@ -185,9 +192,10 @@ def characterize_timing_errors(
         arrival_model: ``"event"`` (exact, glitch-accurate), ``"settle"``
             (pessimistic bound) or ``"transition"`` (optimistic bound).
         backend: a registered simulation-backend name (``"scalar"``,
-            ``"bigint"``, ``"ndarray"``; ``"batch"`` is a historical alias
-            for ``"bigint"``) or ``"auto"`` to let the registry pick by
-            arrival model and batch width — see
+            ``"bigint"``, ``"ndarray"``, ``"event"`` — the batched
+            time-wheel engine for the ``"event"`` arrival model;
+            ``"batch"``/``"wheel"`` are historical aliases) or ``"auto"``
+            to let the registry pick by arrival model and batch width — see
             :func:`repro.circuits.backends.resolve_backend`.  For a given
             arrival model every backend produces bit-for-bit identical
             statistics.

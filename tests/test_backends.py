@@ -2,7 +2,7 @@
 
 Three invariants are enforced:
 
-* **registry** — the three built-in backends resolve by name (and alias),
+* **registry** — the four built-in backends resolve by name (and alias),
   validation lives in one place, and ``"auto"`` selects by arrival model
   and batch width;
 * **equivalence** — scalar, bigint and ndarray backends produce bit-identical
@@ -21,6 +21,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.aging.cell_library import AgingAwareLibrarySet
 from repro.circuits.backends import (
+    EVENT_BACKEND_MIN_LANES,
     LANE_BACKEND_MIN_LANES,
     LaneTimingSimulator,
     LevelizedGraph,
@@ -64,8 +65,8 @@ def _lane_slice(batch, lane):
 # ---------------------------------------------------------------- registry
 class TestRegistry:
     def test_builtin_backends_registered(self):
-        assert backend_names() == ("auto", "bigint", "ndarray", "scalar")
-        for name in ALL_BACKENDS:
+        assert backend_names() == ("auto", "bigint", "event", "ndarray", "scalar")
+        for name in ALL_BACKENDS + ("event",):
             backend = get_backend(name)
             assert isinstance(backend, SimulationBackend)
             assert backend.name == name
@@ -74,14 +75,20 @@ class TestRegistry:
         assert get_backend("batch") is get_backend("bigint")
         assert get_backend("lane") is get_backend("numpy")
         assert get_backend("lane") is get_backend("ndarray")
+        assert get_backend("wheel") is get_backend("event")
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="engine"):
             get_backend("gpu")
 
-    def test_auto_selects_scalar_for_event(self):
-        backend, _ = resolve_backend("auto", "event", 10_000)
+    def test_auto_selects_scalar_for_narrow_event_batches(self):
+        backend, _ = resolve_backend("auto", "event", EVENT_BACKEND_MIN_LANES - 1)
         assert backend.name == "scalar"
+
+    def test_auto_selects_wheel_for_wide_event_batches(self):
+        for batch_size in (EVENT_BACKEND_MIN_LANES, 10_000):
+            backend, _ = resolve_backend("auto", "event", batch_size)
+            assert backend.name == "event"
 
     def test_auto_selects_bigint_for_narrow_batches(self):
         backend, batch_size = resolve_backend("auto", "settle", None)

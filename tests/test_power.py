@@ -33,6 +33,135 @@ class TestSwitchingActivity:
             estimate_switching_activity(small_mac, num_transitions=0)
 
 
+class TestActivityModes:
+    """The glitch-aware event mode against the zero-delay baseline."""
+
+    def test_event_mode_dominates_zero_delay_per_gate(self, small_mac, fresh_cells):
+        # Same rng and shard plan -> both modes simulate the identical
+        # vector chains, so every functional toggle the zero-delay count
+        # sees must also commit in the event simulation; the surplus is
+        # glitch activity.
+        zero_delay = estimate_switching_activity(small_mac, num_transitions=200, rng=9)
+        event = estimate_switching_activity(
+            small_mac, num_transitions=200, rng=9, mode="event", delay_source=fresh_cells
+        )
+        for gate in small_mac.netlist.gates:
+            assert (
+                event.toggles_per_gate[gate.name]
+                >= zero_delay.toggles_per_gate[gate.name]
+            )
+        assert event.total_internal_toggles > zero_delay.total_internal_toggles
+        assert event.input_toggles == zero_delay.input_toggles
+        assert zero_delay.mode == "zero-delay" and not zero_delay.is_glitch_aware
+        assert event.mode == "event" and event.is_glitch_aware
+
+    def test_zero_delay_matches_scalar_functional_toggles(self, small_mac):
+        # Replay the first shard's chain with the scalar zero-delay
+        # simulator and count functional changes per gate output.
+        from repro.circuits.simulator import LogicSimulator
+        from repro.parallel import spawn_seed_sequences
+
+        transitions = 60
+        activity = estimate_switching_activity(
+            small_mac, num_transitions=transitions, rng=21
+        )
+        generator = np.random.default_rng(spawn_seed_sequences(21, 1)[0])
+        vectors = {
+            name: generator.integers(
+                0, 1 << len(nets), size=transitions + 1, dtype=np.uint64
+            ).tolist()
+            for name, nets in small_mac.netlist.input_buses.items()
+        }
+        simulator = LogicSimulator(small_mac.netlist)
+        reference: dict[str, int] = {}
+        previous = None
+        for index in range(transitions + 1):
+            bits = simulator.evaluate_bits(
+                {name: values[index] for name, values in vectors.items()}
+            )
+            if previous is not None:
+                for net, value in bits.items():
+                    if previous[net] != value:
+                        reference[net.name] = reference.get(net.name, 0) + 1
+            previous = bits
+        for gate in small_mac.netlist.gates:
+            assert activity.toggles_per_gate[gate.name] == reference.get(
+                gate.output.name, 0
+            )
+
+    @pytest.mark.parametrize("mode", ["zero-delay", "event"])
+    def test_bit_identical_for_any_workers_and_chunking(
+        self, small_mac, fresh_cells, mode
+    ):
+        kwargs = dict(
+            num_transitions=120,
+            rng=5,
+            mode=mode,
+            delay_source=fresh_cells if mode == "event" else None,
+            transitions_per_shard=25,
+        )
+        serial = estimate_switching_activity(small_mac, **kwargs)
+        for workers, chunk_size in [(2, None), (3, 1), (-1, 2)]:
+            parallel = estimate_switching_activity(
+                small_mac, workers=workers, chunk_size=chunk_size, **kwargs
+            )
+            assert parallel == serial
+
+    def test_closure_sampler_parallelises_or_degrades_serially(self, small_mac):
+        # A local lambda cannot be pickled; under fork the workers inherit
+        # it, on spawn platforms the executor degrades to serial — either
+        # way the counts are those of the constant chain: zero toggles.
+        import warnings
+
+        sampler = lambda _rng: {"a": 5, "b": 5, "c": 100}  # noqa: E731
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            activity = estimate_switching_activity(
+                small_mac, num_transitions=40, rng=0,
+                input_sampler=sampler, workers=2, transitions_per_shard=10,
+            )
+        assert activity.total_internal_toggles == 0
+
+    def test_constant_traffic_produces_no_event_toggles(self, small_mac, fresh_cells):
+        sampler = lambda _rng: {"a": 5, "b": 5, "c": 100}  # noqa: E731
+        activity = estimate_switching_activity(
+            small_mac, num_transitions=20, rng=0,
+            input_sampler=sampler, mode="event", delay_source=fresh_cells,
+        )
+        assert activity.total_internal_toggles == 0
+        assert activity.input_toggles == 0
+
+    def test_event_mode_requires_a_delay_source(self, small_mac):
+        with pytest.raises(ValueError, match="delay_source"):
+            estimate_switching_activity(small_mac, num_transitions=10, mode="event")
+
+    def test_unknown_mode_rejected(self, small_mac):
+        with pytest.raises(ValueError, match="mode"):
+            estimate_switching_activity(small_mac, num_transitions=10, mode="exact")
+
+    def test_invalid_shard_size_rejected(self, small_mac):
+        with pytest.raises(ValueError, match="transitions_per_shard"):
+            estimate_switching_activity(
+                small_mac, num_transitions=10, transitions_per_shard=0
+            )
+
+    def test_energy_model_prices_glitches_with_its_own_delay_source(
+        self, small_mac, fresh_cells
+    ):
+        model = EnergyModel(fresh_cells)
+        zero_delay = model.estimate_operation_energy(
+            small_mac, clock_period_ps=500.0, num_transitions=80, rng=4
+        )
+        event = model.estimate_operation_energy(
+            small_mac, clock_period_ps=500.0, num_transitions=80, rng=4,
+            activity_mode="event",
+        )
+        # Identical chains, so the glitch surplus strictly raises the
+        # dynamic term while leakage (activity-independent) is unchanged.
+        assert event.dynamic_energy_fj > zero_delay.dynamic_energy_fj
+        assert event.leakage_energy_fj == zero_delay.leakage_energy_fj
+
+
 class TestEnergyModel:
     def test_energy_report_totals(self, small_mac, fresh_cells):
         model = EnergyModel(fresh_cells)
