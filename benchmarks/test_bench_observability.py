@@ -1,0 +1,69 @@
+"""Benchmark: overhead of the enabled observability path on the Fig. 1a sweep.
+
+The disabled path is free by construction (one boolean check per
+instrumentation point); this benchmark pins down the *enabled* path, which
+records per-shard counters, per-propagation event summaries and a handful of
+spans.  All of that is O(shards + propagations), not O(events), so recording
+a full Fig. 1a error sweep must cost at most a few percent of its runtime.
+"""
+
+from __future__ import annotations
+
+import time
+
+import repro.observability as observability
+from repro.circuits.mac import build_multiplier
+from repro.timing.error_model import sweep_timing_errors
+
+#: Maximum tolerated enabled-path overhead on the Fig. 1a sweep.
+MAX_OVERHEAD = 0.05
+
+ROUNDS = 3
+
+
+def _sweep(unit, observe: bool):
+    def run():
+        return sweep_timing_errors(
+            unit,
+            levels_mv=(0.0, 30.0, 50.0),
+            num_samples=1000,
+            rng=0,
+            effective_output_width=16,
+        )
+
+    if not observe:
+        return run()
+    with observability.collecting():
+        return run()
+
+
+def test_bench_observability_overhead(benchmark):
+    unit = build_multiplier(8, "array")
+    _sweep(unit, False)  # warm caches (levelized schedules, delay tables)
+    _sweep(unit, True)
+
+    off_s, on_s = [], []
+    # Interleaved min-of-N: drift (thermal, page cache) hits both variants
+    # equally, and the minima estimate the true cost of each path.
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        reference = _sweep(unit, False)
+        off_s.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        observed = _sweep(unit, True)
+        on_s.append(time.perf_counter() - start)
+        assert observed == reference  # recording never changes the statistics
+
+    overhead = min(on_s) / min(off_s) - 1.0
+    print(
+        f"\nfig1a sweep: disabled {min(off_s) * 1e3:.1f} ms, "
+        f"enabled {min(on_s) * 1e3:.1f} ms, overhead {overhead * 100:+.2f}%"
+    )
+    benchmark.extra_info["disabled_s"] = min(off_s)
+    benchmark.extra_info["enabled_s"] = min(on_s)
+    benchmark.extra_info["overhead"] = overhead
+    benchmark.pedantic(_sweep, args=(unit, True), rounds=1, iterations=1)
+    assert overhead <= MAX_OVERHEAD, (
+        f"enabled observability costs {overhead * 100:.1f}% on the fig1a sweep "
+        f"(budget: {MAX_OVERHEAD * 100:.0f}%)"
+    )

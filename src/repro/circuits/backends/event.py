@@ -60,6 +60,7 @@ from collections.abc import Mapping, Sequence
 
 import numpy as np
 
+import repro.observability as observability
 from repro.aging.scenarios.base import resolve_gate_delays
 from repro.circuits.backends.base import BatchedSimulationBackend, ErrorCounters
 from repro.circuits.backends.lane import (
@@ -392,6 +393,7 @@ class EventWheelSimulator:
             glitches_per_net=glitches,
         )
         self.last_event_counters = counters
+        observability.record_event_counters(counters)
         commits = {
             self._row_net_name[row]: int(commit_counts[row])
             for row in np.flatnonzero(commit_counts)

@@ -67,6 +67,7 @@ from collections.abc import Mapping, Sequence
 
 import numpy as np
 
+import repro.observability as observability
 from repro.aging.scenarios.base import resolve_gate_delays
 from repro.circuits.backends.base import BatchedSimulationBackend, ErrorCounters
 from repro.circuits.constants import propagate_constants
@@ -508,6 +509,7 @@ class LevelizedGraph:
         are bit-identical across layouts.
         """
         self.max_plus_passes += 1
+        observability.add("lane.max_plus_passes")
         if excluded is not None:
             live = ~excluded
         if self.layout == "level":
@@ -566,10 +568,18 @@ def levelized_graph(netlist: Netlist, layout: str = "level") -> LevelizedGraph:
     graph = per_netlist.get(layout)
     if graph is None:
         _GRAPH_CACHE_STATS["misses"] += 1
+        observability.add("lane.graph_cache.misses")
         graph = LevelizedGraph(netlist, layout=layout)
         per_netlist[layout] = graph
+        if observability.is_enabled():
+            # Layout-locality fractions are properties of the schedule, so
+            # gauge them once per construction; max keeps merges commutative
+            # (all constructions of one netlist report identical values).
+            for metric, value in graph.gather_locality().items():
+                observability.gauge(f"lane.locality.{metric}", value)
     else:
         _GRAPH_CACHE_STATS["hits"] += 1
+        observability.add("lane.graph_cache.hits")
     return graph
 
 

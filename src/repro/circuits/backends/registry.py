@@ -27,6 +27,7 @@ model and batch width:
 
 from __future__ import annotations
 
+import repro.observability as observability
 from repro.circuits.backends.base import SimulationBackend
 from repro.circuits.simulator import ARRIVAL_MODELS
 
@@ -139,4 +140,5 @@ def resolve_backend(
             f"the batched engine {backend.name!r} only supports the "
             f"{backend.arrival_models} arrival models, not {arrival_model!r}"
         )
+    observability.add(f"backend.selected.{backend.name}")
     return backend, batch_size

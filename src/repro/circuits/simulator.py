@@ -72,6 +72,7 @@ from collections.abc import Mapping, Sequence
 
 import numpy as np
 
+import repro.observability as observability
 from repro.aging.cell_library import CellLibrary
 from repro.aging.scenarios.base import AgingScenario, resolve_gate_delays
 from repro.circuits.constants import propagate_constants
@@ -108,6 +109,27 @@ ARRIVAL_MODELS = ("event", "settle", "transition")
 
 #: Arrival models supported by the batched (bit-parallel) timing engine.
 BATCH_ARRIVAL_MODELS = ("settle", "transition")
+
+
+@dataclass(frozen=True)
+class GlitchSummary:
+    """Bounded summary of a propagation's per-net glitch activity.
+
+    ``glitches_per_net`` grows with the netlist (one entry per glitching
+    net), which is fine for a single propagation but unbounded when folded
+    into long-lived metrics.  The summary keeps the exact totals and only
+    the ``top_n`` glitchiest nets, ordered by ``(-count, name)`` so the
+    selection is deterministic across runs and merge orders.
+
+    Attributes:
+        total: glitch commits summed over all nets (exact, never truncated).
+        nets: number of distinct nets that glitched (exact).
+        top: the ``(net name, count)`` pairs of the glitchiest nets.
+    """
+
+    total: int
+    nets: int
+    top: tuple[tuple[str, int], ...]
 
 
 @dataclass
@@ -152,6 +174,21 @@ class EventCounters:
     def total_glitches(self) -> int:
         """Glitch commits summed over all nets (and lanes, if batched)."""
         return sum(self.glitches_per_net.values())
+
+    def summarize_glitches(self, top_n: int = 8) -> GlitchSummary:
+        """Bounded :class:`GlitchSummary` of the per-net glitch dict.
+
+        The full ``glitches_per_net`` stays available on the instance; this
+        is the path metrics snapshots use so large netlists never inflate
+        long-lived telemetry.  Ties break by net name, so the top-n set is
+        deterministic.
+        """
+        ranked = sorted(self.glitches_per_net.items(), key=lambda kv: (-kv[1], kv[0]))
+        return GlitchSummary(
+            total=self.total_glitches,
+            nets=len(self.glitches_per_net),
+            top=tuple(ranked[: max(0, top_n)]),
+        )
 
 
 class LogicSimulator:
@@ -352,6 +389,7 @@ class TimingSimulator:
             if glitches:
                 counters.glitches_per_net[net.name] = glitches
         self.last_event_counters = counters
+        observability.record_event_counters(counters)
         return values, timelines
 
     # -------------------------------------------------------------- levelized

@@ -187,7 +187,31 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--explain",
         action="store_true",
         help="print the per-task pipeline report (cache hit/miss, where and "
-        "how long each task ran) after the results",
+        "how long each task ran, prior-run duration and hit ratio from the "
+        "artifact sidecars) after the results",
+    )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="record the run with observability enabled and write a Chrome "
+        "trace-event JSON (loadable in Perfetto / chrome://tracing) to PATH",
+    )
+    parser.add_argument(
+        "--metrics",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="record the run with observability enabled and write the "
+        "machine-readable metrics sidecar JSON to PATH",
+    )
+    parser.add_argument(
+        "--metrics-report",
+        action="store_true",
+        help="record the run with observability enabled and print the "
+        "human-readable end-of-run report (task durations, cache hit ratio, "
+        "events/s, lanes/s)",
     )
     parser.add_argument(
         "--backend",
@@ -264,12 +288,37 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     from repro.pipeline import run_pipeline
 
+    observe = (
+        arguments.trace is not None
+        or arguments.metrics is not None
+        or arguments.metrics_report
+    )
+    if observe:
+        import repro.observability as observability
+
+        observability.enable()
+
     run = run_pipeline(names, settings=settings, output_dir=arguments.output)
     for name in run.requested:
         print(run.results[name].to_table())
         print()
     if arguments.explain:
         print(run.explain())
+    if observe:
+        from repro.observability.export import write_chrome_trace, write_metrics_sidecar
+
+        if arguments.metrics_report:
+            print(run.run_report())
+        if arguments.trace is not None:
+            path = write_chrome_trace(arguments.trace, run.observability)
+            print(f"trace written to {path}")
+        if arguments.metrics is not None:
+            path = write_metrics_sidecar(arguments.metrics, run)
+            print(f"metrics written to {path}")
+        elif arguments.output is not None:
+            # Observed runs with an output directory always leave a sidecar
+            # next to the result JSONs, so dashboards can scrape them later.
+            write_metrics_sidecar(Path(arguments.output) / "run.metrics.json", run)
     return 0
 
 

@@ -1,0 +1,235 @@
+"""Exporters: Chrome trace-event JSON, run report, and metrics sidecar.
+
+Three consumers of one :class:`~repro.observability.ObservabilitySnapshot`:
+
+* :func:`write_chrome_trace` — the Chrome trace-event format (JSON object
+  form), loadable in Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing``; every span becomes one complete (``"ph": "X"``)
+  event on its recording process's track, so worker-side sweep shards show
+  up as parallel lanes under the parent's pipeline/task spans.
+* :func:`format_run_report` — the human-readable end-of-run summary the
+  runner prints for ``--metrics-report``: per-task durations and cache
+  dispositions, the run's cache hit ratio, and throughput rates
+  (events/s, lanes/s, levelized passes).
+* :func:`write_metrics_sidecar` — a machine-readable JSON sidecar written
+  atomically (:func:`repro.utils.io.atomic_write_text`) next to pipeline
+  artifacts, for dashboards and the future query service to scrape.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.observability import ObservabilitySnapshot
+from repro.observability.tracer import Span, sorted_spans
+from repro.utils.io import atomic_write_text
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.pipeline.scheduler import PipelineRun
+
+#: Sidecar schema version (bump on breaking layout changes).
+SIDECAR_SCHEMA_VERSION = 1
+
+
+# ------------------------------------------------------------- chrome trace
+def chrome_trace_events(
+    snapshot: ObservabilitySnapshot, parent_pid: "int | None" = None
+) -> dict[str, Any]:
+    """The snapshot's spans as a Chrome trace-event JSON object.
+
+    Timestamps are microseconds relative to the earliest span start, one
+    track (``pid``/``tid``) per recording process, plus ``"M"`` metadata
+    events naming the parent and worker tracks.
+    """
+    spans = sorted_spans(snapshot.spans)
+    origin_s = min((span.start_s for span in spans), default=0.0)
+    parent_pid = os.getpid() if parent_pid is None else parent_pid
+    events: list[dict[str, Any]] = []
+    for pid in sorted({span.pid for span in spans}):
+        label = "pipeline (parent)" if pid == parent_pid else f"worker {pid}"
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": pid,
+                "args": {"name": label},
+            }
+        )
+    for span in spans:
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": (span.start_s - origin_s) * 1e6,
+                "dur": span.duration_s * 1e6,
+                "pid": span.pid,
+                "tid": span.pid,
+                "args": dict(span.args),
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: "str | Path",
+    snapshot: ObservabilitySnapshot,
+    parent_pid: "int | None" = None,
+) -> Path:
+    """Atomically write the Chrome trace-event JSON for ``snapshot``."""
+    trace = chrome_trace_events(snapshot, parent_pid=parent_pid)
+    return atomic_write_text(path, json.dumps(trace, indent=1, default=str))
+
+
+# --------------------------------------------------------------- run report
+def _rate(amount: float, seconds: float) -> str:
+    if seconds <= 0:
+        return "-"
+    value = amount / seconds
+    for unit, scale in (("G", 1e9), ("M", 1e6), ("k", 1e3)):
+        if value >= scale:
+            return f"{value / scale:.2f} {unit}/s"
+    return f"{value:.1f} /s"
+
+
+def _run_wall_seconds(snapshot: ObservabilitySnapshot) -> float:
+    for span in snapshot.spans:
+        if span.name == "pipeline:run":
+            return span.duration_s
+    return sum(span.duration_s for span in snapshot.spans if span.parent_id is None)
+
+
+def format_run_report(run: "PipelineRun") -> str:
+    """Human-readable end-of-run report (``--metrics-report``).
+
+    Built from the run's per-task records plus its merged metrics snapshot;
+    works with a partial snapshot too (a run executed with observability
+    disabled reports the task table only).
+    """
+    from repro.utils.tables import format_table
+
+    lines: list[str] = []
+    records = [run.records[name] for name in run.order]
+    executed = [r for r in records if r.action == "executed"]
+    hits = [r for r in records if r.action == "hit"]
+    pruned = [r for r in records if r.action == "pruned"]
+    probed = len(executed) + len(hits)
+    hit_ratio = (len(hits) / probed) if probed else 0.0
+
+    lines.append("Pipeline run report")
+    lines.append("===================")
+    lines.append(f"requested: {', '.join(run.requested)}")
+    lines.append(
+        f"tasks: {len(records)} total — {len(executed)} executed, "
+        f"{len(hits)} cache hits, {len(pruned)} pruned"
+    )
+    lines.append(f"cache hit ratio: {hit_ratio * 100:.1f}% ({len(hits)}/{probed})")
+
+    rows = []
+    for record in records:
+        if record.action == "pruned":
+            continue
+        rows.append(
+            [
+                record.name,
+                record.action,
+                record.where,
+                f"{record.duration_s * 1e3:.1f} ms",
+                f"{record.queue_wait_s * 1e3:.1f} ms" if record.queue_wait_s else "-",
+            ]
+        )
+    if rows:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["task", "action", "where", "duration", "queue-wait"],
+                rows,
+                title="Task durations",
+            )
+        )
+
+    snapshot = run.observability
+    if snapshot is not None:
+        counters = snapshot.metrics.counters
+        wall_s = _run_wall_seconds(snapshot)
+        lines.append("")
+        lines.append(f"wall time: {wall_s:.2f} s")
+        events = counters.get("sim.events.popped", 0)
+        lanes = counters.get("sim.lanes", 0)
+        throughput = []
+        if events:
+            throughput.append(
+                f"  events popped: {events} ({_rate(events, wall_s)}), "
+                f"suppressed: {counters.get('sim.events.suppressed', 0)}, "
+                f"glitch commits: {counters.get('sim.glitches.total', 0)}"
+            )
+        if lanes:
+            throughput.append(f"  lanes simulated: {lanes} ({_rate(lanes, wall_s)})")
+        passes = counters.get("sta.levelized_passes", 0)
+        lane_passes = counters.get("lane.max_plus_passes", 0)
+        if passes or lane_passes:
+            throughput.append(
+                f"  levelized passes: {passes} (sta), {lane_passes} (lane max-plus)"
+            )
+        selections = {
+            name.rsplit(".", 1)[1]: value
+            for name, value in sorted(counters.items())
+            if name.startswith("backend.selected.")
+        }
+        if selections:
+            throughput.append(
+                "  backend selections: "
+                + ", ".join(f"{name}={count}" for name, count in selections.items())
+            )
+        cache_reads = counters.get("pipeline.cache.bytes_read", 0)
+        cache_writes = counters.get("pipeline.cache.bytes_written", 0)
+        if cache_reads or cache_writes:
+            throughput.append(
+                f"  artifact cache: {cache_reads} bytes read, "
+                f"{cache_writes} bytes written"
+            )
+        if throughput:
+            lines.append("throughput")
+            lines.extend(throughput)
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------------------ sidecar
+def metrics_sidecar(run: "PipelineRun") -> dict[str, Any]:
+    """The machine-readable sidecar payload for one pipeline run."""
+    snapshot = run.observability or ObservabilitySnapshot()
+    return {
+        "schema": SIDECAR_SCHEMA_VERSION,
+        "requested": list(run.requested),
+        "cache_root": str(run.cache_root) if run.cache_root else None,
+        "tasks": {
+            name: {
+                "kind": record.kind,
+                "action": record.action,
+                "where": record.where,
+                "duration_s": record.duration_s,
+                "queue_wait_s": record.queue_wait_s,
+                "cache_key": record.key,
+            }
+            for name, record in sorted(run.records.items())
+        },
+        "observability": snapshot.to_dict(),
+    }
+
+
+def write_metrics_sidecar(path: "str | Path", run: "PipelineRun") -> Path:
+    """Atomically write the run's metrics sidecar JSON."""
+    payload = metrics_sidecar(run)
+    return atomic_write_text(path, json.dumps(payload, indent=2, default=str, sort_keys=True))
+
+
+def span_tree(spans: "list[Span]") -> dict[tuple[int, "int | None"], list[Span]]:
+    """Spans grouped by ``(pid, parent_id)`` — handy for nesting assertions."""
+    children: dict[tuple[int, "int | None"], list[Span]] = {}
+    for span in sorted_spans(spans):
+        children.setdefault((span.pid, span.parent_id), []).append(span)
+    return children

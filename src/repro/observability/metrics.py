@@ -1,0 +1,208 @@
+"""Mergeable metrics: counters, gauges and histograms with deterministic merge.
+
+The registry is the cross-process half of the observability layer: worker
+processes record into their own registry, snapshot it, and ship the snapshot
+back alongside their results; the parent merges.  For that to be sound the
+merge must be **order-independent** — associative and commutative — so the
+aggregate is bit-identical no matter how work items were distributed over
+processes or in which order their snapshots arrive:
+
+* counters merge by summation (ints stay ints, so integer counter merges
+  are exact for any grouping);
+* gauges merge by an explicitly commutative policy (``max`` or ``min``;
+  there is deliberately no "last write wins" mode, which would depend on
+  arrival order);
+* histograms merge element-wise: counts and bucket counts add, ``min``/
+  ``max`` combine, and the running ``total`` is kept separately per source
+  and summed at read time, so float totals are grouping-stable for the
+  per-shard recording pattern the sweeps use.
+
+Everything is plain-Python and picklable; no numpy required.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Gauge merge policies (all commutative + associative).
+GAUGE_MODES = ("max", "min")
+
+#: Histogram bucket upper bounds: geometric decades from 1 microsecond-ish
+#: to 1e6, shared by every histogram so merges never need realignment.
+#: Values above the last bound land in the overflow bucket.
+BUCKET_BOUNDS: tuple[float, ...] = tuple(10.0**exponent for exponent in range(-6, 7))
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value with a commutative merge policy."""
+
+    value: float
+    mode: str = "max"
+
+    def __post_init__(self) -> None:
+        if self.mode not in GAUGE_MODES:
+            raise ValueError(f"gauge mode must be one of {GAUGE_MODES}, got {self.mode!r}")
+
+    def update(self, value: float) -> None:
+        self.value = max(self.value, value) if self.mode == "max" else min(self.value, value)
+
+    def merge(self, other: "Gauge") -> None:
+        if other.mode != self.mode:
+            raise ValueError(
+                f"cannot merge gauge modes {self.mode!r} and {other.mode!r}"
+            )
+        self.update(other.value)
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram (shared :data:`BUCKET_BOUNDS`), timer-friendly.
+
+    ``totals`` keeps one float partial sum per merged source registry rather
+    than a single running float: summing a *sorted* tuple of partials at
+    read time (:attr:`total`) makes the reported sum independent of merge
+    grouping and order, which is what the associativity/commutativity
+    property tests pin down.
+    """
+
+    count: int = 0
+    totals: tuple[float, ...] = ()
+    min: float = float("inf")
+    max: float = float("-inf")
+    buckets: list[int] = field(default_factory=lambda: [0] * (len(BUCKET_BOUNDS) + 1))
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.totals = self._fold(self.totals, (value,))
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.buckets[bisect_right(BUCKET_BOUNDS, value)] += 1
+
+    @staticmethod
+    def _fold(left: tuple[float, ...], right: tuple[float, ...]) -> tuple[float, ...]:
+        """Combine partial sums, bounded to one partial per source chain.
+
+        Within one registry, consecutive observations fold into the last
+        partial (a plain running sum, cheap); merges concatenate and re-sort
+        so the read-time reduction order is canonical.
+        """
+        if not left:
+            return right
+        if not right:
+            return left
+        if len(right) == 1:
+            return left[:-1] + (left[-1] + right[0],)
+        return tuple(sorted(left + right))
+
+    @property
+    def total(self) -> float:
+        """Order-canonical sum of the observed values."""
+        return sum(sorted(self.totals))
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        self.count += other.count
+        self.totals = tuple(sorted(self.totals + other.totals))
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        self.buckets = [mine + theirs for mine, theirs in zip(self.buckets, other.buckets)]
+
+
+class MetricsRegistry:
+    """A process-local bag of named counters, gauges and histograms.
+
+    Names are flat dotted strings (``"sim.events.popped"``); one registry
+    never mixes kinds under one name.  ``merge`` folds another registry (or
+    snapshot) in, metric by metric, with the order-independent policies
+    documented at module level.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int | float] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------- recording
+    def add(self, name: str, amount: "int | float" = 1) -> None:
+        """Increment the counter ``name`` by ``amount``."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float, mode: str = "max") -> None:
+        """Record a gauge value under the commutative policy ``mode``."""
+        existing = self.gauges.get(name)
+        if existing is None:
+            self.gauges[name] = Gauge(float(value), mode)
+        else:
+            if existing.mode != mode:
+                raise ValueError(
+                    f"gauge {name!r} already registered with mode {existing.mode!r}"
+                )
+            existing.update(float(value))
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one histogram observation (e.g. a duration in seconds)."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.observe(value)
+
+    # --------------------------------------------------------------- merging
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other`` into this registry (order-independent); returns self."""
+        for name, amount in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + amount
+        for name, gauge in other.gauges.items():
+            mine = self.gauges.get(name)
+            if mine is None:
+                self.gauges[name] = Gauge(gauge.value, gauge.mode)
+            else:
+                mine.merge(gauge)
+        for name, histogram in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = Histogram()
+            mine.merge(histogram)
+        return self
+
+    def snapshot(self) -> "MetricsRegistry":
+        """An independent deep copy (safe to pickle / keep merging into)."""
+        copy = MetricsRegistry()
+        copy.merge(self)
+        return copy
+
+    # ---------------------------------------------------------------- export
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able form (stable key order) for sidecars and assertions."""
+        return {
+            "counters": {name: self.counters[name] for name in sorted(self.counters)},
+            "gauges": {
+                name: {"value": gauge.value, "mode": gauge.mode}
+                for name, gauge in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "count": hist.count,
+                    "total": hist.total,
+                    "min": hist.min if hist.count else None,
+                    "max": hist.max if hist.count else None,
+                    "buckets": list(hist.buckets),
+                }
+                for name, hist in sorted(self.histograms.items())
+            },
+        }
+
+    def counter(self, name: str, default: "int | float" = 0) -> "int | float":
+        """Current value of a counter (``default`` when never incremented)."""
+        return self.counters.get(name, default)
+
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.gauges or self.histograms)

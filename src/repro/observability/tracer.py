@@ -1,0 +1,126 @@
+"""Hierarchical span tracing for pipeline runs.
+
+A span is one timed region of work — a pipeline run, a task body, a sweep,
+a shard — with a parent link, so the recorded list reconstructs the run's
+tree.  Spans carry a wall-clock start (``time.time()``, comparable across
+processes on one host) and a monotonic duration (``time.perf_counter()``
+delta), plus free-form ``args`` for payload bytes, cache disposition,
+queue wait and friends.
+
+The tracer is process-local; worker-side spans travel back to the parent
+inside observability snapshots (see :mod:`repro.observability`) keyed by
+their recording ``pid``, which is also what the Chrome-trace exporter uses
+as the track id.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Span:
+    """One completed timed region.
+
+    Attributes:
+        name: span label (``"task:fig1a"``, ``"sweep:shard"``...).
+        category: coarse grouping for trace viewers (``"pipeline"``,
+            ``"task"``, ``"sweep"``, ``"parallel"``, ``"sim"``).
+        start_s: wall-clock start time (seconds since the epoch).
+        duration_s: monotonic duration in seconds.
+        pid: process that recorded the span.
+        span_id: id unique within the recording process.
+        parent_id: enclosing span's id in the same process (None for roots).
+        args: extra attributes (payload bytes, cache action, queue wait...).
+    """
+
+    name: str
+    category: str
+    start_s: float
+    duration_s: float
+    pid: int
+    span_id: int
+    parent_id: "int | None"
+    args: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+class _NullArgs(dict):
+    """Arg sink of the disabled tracer: accepts writes, keeps nothing."""
+
+    def __setitem__(self, key: object, value: object) -> None:  # noqa: D102
+        pass
+
+    def update(self, *args: object, **kwargs: object) -> None:  # noqa: D102
+        pass
+
+
+class _NullSpanContext:
+    """Allocation-free context manager returned when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullArgs":
+        return NULL_ARGS
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+NULL_ARGS = _NullArgs()
+NULL_SPAN = _NullSpanContext()
+
+
+class Tracer:
+    """Records a tree of spans via a with-statement API.
+
+    ``span()`` yields the span's mutable ``args`` dict so instrumentation
+    can attach attributes that are only known at exit time (cache action,
+    result bytes...).  Spans are appended on exit, children before parents;
+    nesting is tracked with an explicit stack (the harness is
+    single-threaded per process).
+    """
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._stack: list[int] = []
+        self._next_id = 1
+
+    @contextmanager
+    def span(self, name: str, category: str = "run", args: "dict[str, Any] | None" = None):
+        span_id = self._next_id
+        self._next_id += 1
+        parent_id = self._stack[-1] if self._stack else None
+        span_args: dict[str, Any] = dict(args) if args else {}
+        self._stack.append(span_id)
+        start_wall = time.time()
+        start = time.perf_counter()
+        try:
+            yield span_args
+        finally:
+            duration = time.perf_counter() - start
+            self._stack.pop()
+            self.spans.append(
+                Span(
+                    name=name,
+                    category=category,
+                    start_s=start_wall,
+                    duration_s=duration,
+                    pid=os.getpid(),
+                    span_id=span_id,
+                    parent_id=parent_id,
+                    args=span_args,
+                )
+            )
+
+
+def sorted_spans(spans: "list[Span]") -> "list[Span]":
+    """Canonical span order (start time, then pid, then id) for exports."""
+    return sorted(spans, key=lambda span: (span.start_s, span.pid, span.span_id))

@@ -27,6 +27,8 @@ from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wai
 from multiprocessing import get_context
 from typing import Any
 
+import repro.observability as observability
+
 TaskFunction = Callable[[Any, Any], Any]
 
 #: Chunks submitted per worker when ``chunk_size`` is not given; a few chunks
@@ -73,6 +75,27 @@ def _run_item(item: Any) -> Any:
     return _WORKER_TASK(item, _WORKER_PAYLOAD)
 
 
+def _run_chunk_observed(chunk: list[Any]) -> tuple[list[Any], Any]:
+    """Observed variant of :func:`_run_chunk`: also ship telemetry back.
+
+    ``collecting()`` installs a fresh enabled registry/tracer for the chunk
+    (isolating it from any state inherited over ``fork``), so the returned
+    snapshot holds exactly this chunk's metrics and spans; the parent merges
+    it.  Results are byte-identical to the unobserved path — the wrapper
+    only records *about* the work.
+    """
+    with observability.collecting() as snapshot:
+        results = _run_chunk(chunk)
+    return results, snapshot
+
+
+def _run_item_observed(item: Any) -> tuple[Any, Any]:
+    """Observed variant of :func:`_run_item` (see :func:`_run_chunk_observed`)."""
+    with observability.collecting() as snapshot:
+        result = _run_item(item)
+    return result, snapshot
+
+
 class ParallelExecutor:
     """Maps a task function over work items across worker processes.
 
@@ -108,17 +131,33 @@ class ParallelExecutor:
         workers = min(self.workers, len(items))
         if workers <= 0:
             return self._map_serial(task, items, payload)
+        # Captured once per map call: when the parent is recording telemetry,
+        # chunks run through the observed wrapper and ship their snapshots
+        # back for merging.  Serial paths record into this registry directly.
+        observed = observability.is_enabled()
         pool = self._start_pool(task, payload, workers)
         if pool is None:
             return self._map_serial(task, items, payload)
         try:
-            chunks = self._chunk(items, workers)
-            futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
-            results: list[Any] = []
-            # Futures are consumed in submission order, which restores work-item
-            # order no matter which worker finished first.
-            for future in futures:
-                results.extend(future.result())
+            with observability.span(
+                "parallel:map", category="parallel", items=len(items), workers=workers
+            ) as span_args:
+                if observed:
+                    span_args["payload_bytes"] = self._record_payload_bytes(payload)
+                chunks = self._chunk(items, workers)
+                span_args["chunks"] = len(chunks)
+                run_chunk = _run_chunk_observed if observed else _run_chunk
+                futures = [pool.submit(run_chunk, chunk) for chunk in chunks]
+                results: list[Any] = []
+                # Futures are consumed in submission order, which restores
+                # work-item order no matter which worker finished first.
+                for future in futures:
+                    if observed:
+                        chunk_results, chunk_snapshot = future.result()
+                        observability.merge_snapshot(chunk_snapshot)
+                        results.extend(chunk_results)
+                    else:
+                        results.extend(future.result())
             return results
         finally:
             pool.shutdown(wait=True)
@@ -178,6 +217,23 @@ class ParallelExecutor:
     def _map_serial(task: TaskFunction, items: list[Any], payload: Any) -> list[Any]:
         return [task(item, payload) for item in items]
 
+    @staticmethod
+    def _record_payload_bytes(payload: Any) -> "int | None":
+        """Gauge the pickled payload size (observability-enabled paths only).
+
+        Under ``fork`` the payload is never actually pickled, so this is the
+        only place its wire size is measured; unpicklable payloads (shared
+        by inheritance) record nothing.
+        """
+        if payload is None:
+            return None
+        try:
+            size = len(pickle.dumps(payload))
+        except Exception:
+            return None
+        observability.gauge("executor.payload_bytes", size)
+        return size
+
     def _start_method(self) -> str:
         if self.start_method is not None:
             return self.start_method
@@ -223,8 +279,15 @@ class ExecutorSession:
         self._futures: dict[int, Future] = {}
         self._completed: list[tuple[int, Any]] = []
         self._next_ticket = 0
+        # Captured at session start: dispatched items run through the
+        # observed wrapper and ship their telemetry snapshots back (merged
+        # in wait_any); serially executed items record into the parent's
+        # registry directly, so no wrapping is needed.
+        self._observed = observability.is_enabled()
         if executor.workers > 0:
             self._pool = executor._start_pool(task, payload, executor.workers)
+            if self._observed and self._pool is not None:
+                ParallelExecutor._record_payload_bytes(payload)
 
     @property
     def parallel(self) -> bool:
@@ -239,7 +302,8 @@ class ExecutorSession:
             # Serial fallback: run now, collect via wait_any like any other.
             self._completed.append((ticket, self._task(item, self._payload)))
         else:
-            self._futures[ticket] = self._pool.submit(_run_item, item)
+            run_item = _run_item_observed if self._observed else _run_item
+            self._futures[ticket] = self._pool.submit(run_item, item)
         return ticket
 
     def wait_any(self) -> tuple[int, Any]:
@@ -257,6 +321,10 @@ class ExecutorSession:
         for ticket, future in self._futures.items():
             if future is finished:
                 del self._futures[ticket]
+                if self._observed:
+                    result, item_snapshot = future.result()
+                    observability.merge_snapshot(item_snapshot)
+                    return ticket, result
                 return ticket, future.result()
         raise AssertionError("completed future not found in session")  # pragma: no cover
 

@@ -34,9 +34,11 @@ import hashlib
 import json
 import os
 import pickle
+import time
 from pathlib import Path
-from typing import Any
+from typing import Any, Mapping
 
+import repro.observability as observability
 from repro.experiments.reporting import ExperimentResult, _jsonify
 from repro.experiments.settings import ExperimentSettings
 from repro.pipeline.graph import TaskGraph
@@ -107,7 +109,10 @@ class ArtifactCache:
         """Deserialize the stored artifact (the caller checked ``contains``)."""
         path = self.artifact_path(task, key)
         if task.serializer == JSON_FORMAT:
-            data = json.loads(path.read_text())
+            text = path.read_text()
+            observability.add("pipeline.cache.hits")
+            observability.add("pipeline.cache.bytes_read", len(text.encode("utf-8")))
+            data = json.loads(text)
             return ExperimentResult(
                 experiment_id=data["experiment_id"],
                 title=data["title"],
@@ -116,10 +121,24 @@ class ArtifactCache:
                 metadata=data["metadata"],
             )
         with path.open("rb") as handle:
-            return pickle.load(handle)
+            blob = handle.read()
+        observability.add("pipeline.cache.hits")
+        observability.add("pipeline.cache.bytes_read", len(blob))
+        return pickle.loads(blob)
 
-    def store(self, task: Task, key: str, artifact: Any) -> Path | None:
-        """Persist ``artifact`` (no-op for non-cacheable tasks)."""
+    def store(
+        self,
+        task: Task,
+        key: str,
+        artifact: Any,
+        timing: "Mapping[str, Any] | None" = None,
+    ) -> Path | None:
+        """Persist ``artifact`` (no-op for non-cacheable tasks).
+
+        ``timing`` is the scheduler's per-task execution record (duration,
+        queue wait, where it ran) and lands in the ``.meta.json`` sidecar, so
+        a later ``--explain`` can report what the artifact originally cost.
+        """
         if not task.cacheable:
             return None
         path = self.artifact_path(task, key)
@@ -128,12 +147,49 @@ class ArtifactCache:
         else:
             blob = pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
         atomic_write_bytes(path, blob)
+        observability.add("pipeline.cache.stores")
+        observability.add("pipeline.cache.bytes_written", len(blob))
         meta = {
             "task": task.name,
             "key": key,
             "format": task.serializer,
             "content_sha256": hashlib.sha256(blob).hexdigest(),
             "size_bytes": len(blob),
+            "stored_at": time.time(),
+            "hits": 0,
         }
+        if timing is not None:
+            meta["timing"] = dict(timing)
         atomic_write_text(self.meta_path(task, key), json.dumps(meta, indent=2))
         return path
+
+    # ------------------------------------------------------------- telemetry
+    def read_meta(self, task_name: str, key: str) -> "dict[str, Any] | None":
+        """The ``.meta.json`` sidecar of an artifact, or None when absent.
+
+        Addressed by name rather than :class:`Task` so report readers (e.g.
+        ``--explain``) can inspect history without rebuilding the graph.
+        """
+        path = self.root / task_name.replace(":", "_") / f"{key}.meta.json"
+        try:
+            return json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+
+    def record_hit(self, task: Task, key: str) -> None:
+        """Bump the sidecar's hit counter after a cache load (best-effort).
+
+        Sidecars are telemetry, never inputs: a missing or corrupt one is
+        rebuilt minimal, and failures here must not fail the pipeline.
+        """
+        meta = self.read_meta(task.name, key) or {
+            "task": task.name,
+            "key": key,
+            "format": task.serializer,
+        }
+        meta["hits"] = int(meta.get("hits", 0)) + 1
+        meta["last_hit_at"] = time.time()
+        try:
+            atomic_write_text(self.meta_path(task, key), json.dumps(meta, indent=2))
+        except OSError:  # pragma: no cover - filesystem races/permissions
+            pass

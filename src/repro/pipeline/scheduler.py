@@ -30,9 +30,11 @@ from pathlib import Path
 from typing import Any
 from collections.abc import Sequence
 
+import repro.observability as observability
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.settings import ExperimentSettings
 from repro.experiments.workspace import ExperimentWorkspace
+from repro.observability import ObservabilitySnapshot
 from repro.parallel import ParallelExecutor, resolve_workers
 from repro.pipeline.cache import ArtifactCache, compute_cache_keys
 from repro.pipeline.graph import TaskGraph
@@ -48,7 +50,14 @@ PRUNED = "pruned"
 
 @dataclass
 class TaskRecord:
-    """What happened to one task during a pipeline run."""
+    """What happened to one task during a pipeline run.
+
+    ``duration_s`` is the task body's own execution time (or the cache-load
+    time for hits); ``queue_wait_s`` is how long a dispatched task sat
+    between submission to the executor and its body actually starting in a
+    worker (always 0 for inline execution).  Both are persisted into the
+    artifact's ``.meta.json`` sidecar at store time.
+    """
 
     name: str
     kind: str
@@ -57,6 +66,7 @@ class TaskRecord:
     key: str = ""
     stored: bool = False
     duration_s: float = 0.0
+    queue_wait_s: float = 0.0
     depends: tuple[str, ...] = ()
 
 
@@ -70,6 +80,9 @@ class PipelineRun:
     keys: dict[str, str]
     cache_root: Path | None = None
     order: tuple[str, ...] = ()
+    #: Merged telemetry of this run (parent + shipped-back worker snapshots);
+    #: None when observability was disabled.
+    observability: "ObservabilitySnapshot | None" = None
 
     @property
     def executed(self) -> tuple[str, ...]:
@@ -92,10 +105,29 @@ class PipelineRun:
         return [self.results[name] for name in self.requested]
 
     def explain(self) -> str:
-        """Human-readable per-task hit/run/prune report (``--explain``)."""
+        """Human-readable per-task hit/run/prune report (``--explain``).
+
+        When an artifact cache is active, each task's prior-run history is
+        read from its ``.meta.json`` sidecar: ``last_run`` is the duration
+        the artifact cost when it was originally built (plus any queue
+        wait), and ``hit_ratio`` is how often this exact artifact has been
+        served from cache since (``hits / (hits + 1 build)``).
+        """
+        cache = ArtifactCache(self.cache_root) if self.cache_root is not None else None
         rows = []
         for name in self.order:
             record = self.records[name]
+            last_run, hit_ratio = "-", "-"
+            if cache is not None and record.key:
+                meta = cache.read_meta(record.name, record.key)
+                if meta is not None:
+                    timing = meta.get("timing") or {}
+                    if "duration_s" in timing:
+                        last_run = f"{timing['duration_s']:.2f}s"
+                        if timing.get("queue_wait_s"):
+                            last_run += f"+{timing['queue_wait_s']:.2f}s wait"
+                    hits = int(meta.get("hits", 0))
+                    hit_ratio = f"{hits / (hits + 1):.0%} ({hits}/{hits + 1})"
             rows.append(
                 [
                     record.name,
@@ -103,26 +135,53 @@ class PipelineRun:
                     record.action,
                     record.where,
                     f"{record.duration_s:.2f}s" if record.action == EXECUTED else "-",
+                    last_run,
+                    hit_ratio,
                     record.key[:12] if record.key else "-",
                     ", ".join(record.depends) if record.depends else "-",
                 ]
             )
         title = f"Pipeline plan (cache: {self.cache_root if self.cache_root else 'disabled'})"
         return format_table(
-            ["task", "kind", "action", "where", "time", "cache_key", "depends"],
+            [
+                "task",
+                "kind",
+                "action",
+                "where",
+                "time",
+                "last_run",
+                "hit_ratio",
+                "cache_key",
+                "depends",
+            ],
             rows,
             title=title,
         )
 
+    def run_report(self) -> str:
+        """The human-readable end-of-run observability report."""
+        from repro.observability.export import format_run_report
+
+        return format_run_report(self)
+
 
 # ----------------------------------------------------------------- worker
-def _execute_work_item(item: "tuple[str, dict[str, Any]]", payload: "tuple[ExperimentSettings, dict[str, Any]]") -> Any:
+def _execute_work_item(
+    item: "tuple[str, dict[str, Any]]",
+    payload: "tuple[ExperimentSettings, dict[str, Any]]",
+) -> tuple[Any, float, float]:
     """Run one task body in a worker process.
 
     The payload (shipped once per worker) carries the settings and every
     artifact the parent knew at dispatch-session start; artifacts produced
     later arrive per item.  The worker rebuilds the (deterministic) graph
     from the settings to resolve the task body by name.
+
+    Returns ``(artifact, started_wall_s, duration_s)``: the wall-clock body
+    start lets the parent compute queue wait (``start - submit time``), and
+    the duration is the body's own cost excluding queue and IPC time.  The
+    timing ride-along never feeds back into any task body, so results stay
+    bit-identical to inline execution.
     """
     settings, base_artifacts = payload
     name, extra_artifacts = item
@@ -132,7 +191,11 @@ def _execute_work_item(item: "tuple[str, dict[str, Any]]", payload: "tuple[Exper
         dep: extra_artifacts[dep] if dep in extra_artifacts else base_artifacts[dep]
         for dep in task.depends
     }
-    return task.run(TaskContext(settings, artifacts))
+    started_wall = time.time()
+    start = time.perf_counter()
+    with observability.span(f"task:{name}", category="task", where="worker", action="executed"):
+        value = task.run(TaskContext(settings, artifacts))
+    return value, started_wall, time.perf_counter() - start
 
 
 # -------------------------------------------------------------- scheduler
@@ -188,7 +251,49 @@ def run_pipeline(
 
     Returns:
         A :class:`PipelineRun` with the results and the per-task records.
+        When observability is enabled (:mod:`repro.observability`), the
+        run's merged telemetry — parent spans/metrics plus every worker
+        snapshot shipped back through the executor — is attached as
+        ``run.observability``.
     """
+    if not observability.is_enabled():
+        return _run_pipeline(
+            names,
+            settings,
+            cache=cache,
+            cache_dir=cache_dir,
+            output_dir=output_dir,
+            executor=executor,
+        )
+    # Give the run its own collection scope so ``run.observability`` holds
+    # exactly this invocation's telemetry; fold it back into the process
+    # registry afterwards so long-lived callers keep their running totals.
+    with observability.collecting() as run_snapshot:
+        with observability.span(
+            "pipeline:run", category="pipeline", requested=list(dict.fromkeys(names))
+        ):
+            run = _run_pipeline(
+                names,
+                settings,
+                cache=cache,
+                cache_dir=cache_dir,
+                output_dir=output_dir,
+                executor=executor,
+            )
+    observability.merge_snapshot(run_snapshot)
+    run.observability = run_snapshot
+    return run
+
+
+def _run_pipeline(
+    names: Sequence[str],
+    settings: ExperimentSettings | None = None,
+    *,
+    cache: bool | None = None,
+    cache_dir: "str | Path | None" = None,
+    output_dir: "str | Path | None" = None,
+    executor: ParallelExecutor | None = None,
+) -> PipelineRun:
     settings = settings or ExperimentSettings.fast()
     graph = build_experiment_graph(settings)
     experiment_names = {task.name for task in graph.experiments()}
@@ -238,19 +343,47 @@ def run_pipeline(
 
     def _load(task: Task) -> None:
         start = time.perf_counter()
-        artifacts[task.name] = artifact_cache.load(task, keys[task.name])
+        with observability.span(
+            f"task:{task.name}", category="task", where="cache", action="hit"
+        ):
+            artifacts[task.name] = artifact_cache.load(task, keys[task.name])
+        artifact_cache.record_hit(task, keys[task.name])
         record = records[task.name]
         record.action, record.where = HIT, "cache"
         record.duration_s = time.perf_counter() - start
+        observability.add("pipeline.tasks.hit")
         _save_output(task)
 
-    def _finish(task: Task, value: Any, where: str, start: float) -> None:
+    def _finish(
+        task: Task,
+        value: Any,
+        where: str,
+        start: float,
+        *,
+        duration_s: "float | None" = None,
+        queue_wait_s: float = 0.0,
+    ) -> None:
         artifacts[task.name] = value
         record = records[task.name]
         record.action, record.where = EXECUTED, where
-        record.duration_s = time.perf_counter() - start
+        record.duration_s = (
+            time.perf_counter() - start if duration_s is None else duration_s
+        )
+        record.queue_wait_s = queue_wait_s
+        observability.add("pipeline.tasks.executed")
+        if queue_wait_s:
+            observability.observe("time.task_queue_wait_seconds", queue_wait_s)
         if artifact_cache is not None and task.cacheable:
-            artifact_cache.store(task, keys[task.name], value)
+            artifact_cache.store(
+                task,
+                keys[task.name],
+                value,
+                timing={
+                    "duration_s": record.duration_s,
+                    "queue_wait_s": record.queue_wait_s,
+                    "where": where,
+                },
+            )
             record.stored = True
         _save_output(task)
 
@@ -281,7 +414,11 @@ def run_pipeline(
                 workspace=shared,
             )
             start = time.perf_counter()
-            _finish(task, task.run(context), "inline", start)
+            with observability.span(
+                f"task:{task.name}", category="task", where="inline", action="executed"
+            ):
+                value = task.run(context)
+            _finish(task, value, "inline", start)
     else:
         # Light tasks first, inline (they are closed under dependencies by
         # the light-before-heavy layering rule)...
@@ -296,7 +433,11 @@ def run_pipeline(
                 workspace=shared,
             )
             start = time.perf_counter()
-            _finish(task, task.run(context), "inline", start)
+            with observability.span(
+                f"task:{task.name}", category="task", where="inline", action="executed"
+            ):
+                value = task.run(context)
+            _finish(task, value, "inline", start)
         # ... then dispatch heavy tasks as their dependencies complete.  The
         # session payload ships everything known now once per worker; later
         # artifacts ride along with the items that need them.  Worker-side
@@ -307,7 +448,7 @@ def run_pipeline(
             name: value for name, value in artifacts.items() if name in heavy_deps
         }
         executor = executor or ParallelExecutor(workers=settings.workers)
-        tickets: dict[int, tuple[Task, float]] = {}
+        tickets: dict[int, tuple[Task, float, float]] = {}
         pending = {task.name: task for task in heavy_exec}
         dispatched: set[str] = set()
         with executor.session(_execute_work_item, (worker_settings, base_artifacts)) as session:
@@ -322,12 +463,25 @@ def run_pipeline(
                         for dep in task.depends
                         if dep not in base_artifacts
                     }
-                    tickets[session.submit((name, extra))] = (task, time.perf_counter())
+                    tickets[session.submit((name, extra))] = (
+                        task,
+                        time.perf_counter(),
+                        time.time(),
+                    )
                     dispatched.add(name)
-                ticket, value = session.wait_any()
-                task, start = tickets.pop(ticket)
+                ticket, payload_value = session.wait_any()
+                value, started_wall, body_duration = payload_value
+                task, start, submit_wall = tickets.pop(ticket)
                 del pending[task.name]
-                _finish(task, value, where, start)
+                queue_wait = max(0.0, started_wall - submit_wall)
+                _finish(
+                    task,
+                    value,
+                    where,
+                    start,
+                    duration_s=body_duration,
+                    queue_wait_s=queue_wait,
+                )
 
     results = {name: artifacts[name] for name in requested}
     return PipelineRun(

@@ -30,12 +30,14 @@ the pre-scenario implementation.
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import dataclass, field
 from collections.abc import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
+import repro.observability as observability
 from repro.aging.cell_library import AgingAwareLibrarySet, CellLibrary
 from repro.aging.scenarios.base import (
     AgingScenario,
@@ -216,11 +218,20 @@ def characterize_timing_errors(
     width = _resolve_output_window(unit, output_bus, effective_output_width, msb_count)
 
     generator = make_rng(rng)
-    vectors = _draw_input_vectors(unit, input_sampler, generator, num_samples + 1)
-    simulator = resolved.timing_simulator(unit.netlist, library, arrival_model)
-    counters = resolved.accumulate_errors(
-        unit, simulator, vectors, clock_period_ps, output_bus, msb_count, width, batch_size
-    )
+    with observability.span(
+        "sweep:characterize",
+        category="sweep",
+        samples=num_samples,
+        backend=resolved.name,
+        arrival_model=arrival_model,
+    ):
+        vectors = _draw_input_vectors(unit, input_sampler, generator, num_samples + 1)
+        simulator = resolved.timing_simulator(unit.netlist, library, arrival_model)
+        counters = resolved.accumulate_errors(
+            unit, simulator, vectors, clock_period_ps, output_bus, msb_count, width, batch_size
+        )
+        observability.add("sweep.samples", num_samples)
+        observability.add("sim.lanes", num_samples)
     bit_flip_counts, msb_flip_count, error_count, total_error_distance = counters
 
     return TimingErrorStatistics(
@@ -281,20 +292,41 @@ class _TimingSweepContext:
 def _timing_shard_task(
     item: tuple[int, int, np.random.SeedSequence], context: _TimingSweepContext
 ) -> ErrorCounters:
-    """Simulate one (scenario, sample shard) work item and return counters."""
+    """Simulate one (scenario, sample shard) work item and return counters.
+
+    Metrics are recorded per *shard*, never per chunk: the shard plan is a
+    pure function of ``(num_samples, samples_per_shard)``, so the merged
+    ``sweep.*``/``sim.*`` counters are bit-identical for any worker count or
+    chunking — the same invariance contract the statistics themselves obey.
+    """
     scenario_index, shard_samples, seed = item
-    generator = np.random.default_rng(seed)
-    vectors = _draw_input_vectors(context.unit, context.input_sampler, generator, shard_samples + 1)
-    return get_backend(context.backend).accumulate_errors(
-        context.unit,
-        context.simulator(scenario_index),
-        vectors,
-        context.clock_period_ps,
-        context.output_bus,
-        context.msb_count,
-        context.width,
-        context.batch_size,
-    )
+    start = time.perf_counter()
+    with observability.span(
+        "sweep:shard",
+        category="sweep",
+        scenario=scenario_index,
+        samples=shard_samples,
+        backend=context.backend,
+    ):
+        generator = np.random.default_rng(seed)
+        vectors = _draw_input_vectors(
+            context.unit, context.input_sampler, generator, shard_samples + 1
+        )
+        counters = get_backend(context.backend).accumulate_errors(
+            context.unit,
+            context.simulator(scenario_index),
+            vectors,
+            context.clock_period_ps,
+            context.output_bus,
+            context.msb_count,
+            context.width,
+            context.batch_size,
+        )
+    observability.add("sweep.shards")
+    observability.add("sweep.samples", shard_samples)
+    observability.add("sim.lanes", shard_samples)
+    observability.observe("time.shard_seconds", time.perf_counter() - start)
+    return counters
 
 
 def _resolve_scenario_axis(
@@ -452,7 +484,16 @@ def sweep_timing_errors(
         batch_size=batch_size,
     )
     executor = ParallelExecutor(workers=workers, chunk_size=chunk_size)
-    counters = executor.map(_timing_shard_task, items, payload=context)
+    with observability.span(
+        "sweep:timing_errors",
+        category="sweep",
+        scenarios=len(axis),
+        shards=len(items),
+        samples=num_samples * len(axis),
+        backend=resolved.name,
+        workers=executor.workers,
+    ):
+        counters = executor.map(_timing_shard_task, items, payload=context)
 
     results = []
     shards_per_scenario = len(shard_plan)

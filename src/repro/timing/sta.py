@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Mapping, Sequence
 
+import repro.observability as observability
 from repro.aging.cell_library import CellLibrary
 from repro.aging.scenarios.base import (
     AgingScenario,
@@ -133,6 +134,7 @@ class StaticTimingAnalyzer:
         """
         constants = self._resolve_case_constants(case_analysis or {})
         self.levelized_passes += 1
+        observability.add("sta.levelized_passes")
         arrivals: dict[Net, float] = {}
         for net in self.netlist.nets.values():
             if net.is_primary_input and net not in constants:
@@ -181,6 +183,7 @@ class StaticTimingAnalyzer:
             return []
         corner_constants = [self._resolve_case_constants(case or {}) for case in cases]
         self.levelized_passes += 1
+        observability.add("sta.levelized_passes")
         return corner_case_delays(self.netlist, self._gate_delay_ps, corner_constants)
 
     def critical_path(self, case_analysis: Mapping[str, int] | None = None) -> TimingPath:
