@@ -43,6 +43,17 @@ class ExperimentResult:
             "metadata": self.metadata,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentResult":
+        """Rebuild a result from its :meth:`to_dict` / JSON form."""
+        return cls(
+            experiment_id=data["experiment_id"],
+            title=data["title"],
+            columns=list(data["columns"]),
+            rows=[list(row) for row in data["rows"]],
+            metadata=dict(data.get("metadata") or {}),
+        )
+
     def save_json(self, path: "str | Path") -> Path:
         """Persist the result (and metadata) as JSON; returns the path.
 

@@ -6,6 +6,8 @@ Example::
     python -m repro.experiments.runner --all --profile full --output results/ --workers 4
     python -m repro.experiments.runner --experiments fig4b --explain
     python -m repro.experiments.runner --list
+    python -m repro.experiments.runner serve --port 7321 --workers 4
+    python -m repro.experiments.runner query --port 7321 --experiments fig2
 
 Experiments run through the dependency-aware pipeline (:mod:`repro.pipeline`):
 ``--workers N`` overlaps up to N whole tasks (experiments, model training) in
@@ -19,6 +21,8 @@ additionally stores them as JSON for later inspection.
 from __future__ import annotations
 
 import argparse
+import json
+import sys
 from pathlib import Path
 from collections.abc import Callable, Sequence
 
@@ -132,8 +136,206 @@ def _list_registry(settings: ExperimentSettings, use_cache: bool) -> str:
     return format_table(["task", "kind", "depends", "cache", "key"], rows, title=title)
 
 
+# ---------------------------------------------------------------- service CLI
+def _serve_main(argv: Sequence[str]) -> int:
+    """``runner serve``: run the aging-analysis query service."""
+    import asyncio
+
+    from repro.service import AdmissionPolicy, ServiceConfig, run_service
+
+    parser = argparse.ArgumentParser(
+        prog="runner serve", description="Serve aging-analysis queries over TCP."
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 = ephemeral, printed on start)"
+    )
+    parser.add_argument(
+        "--profile", choices=("fast", "full"), default="fast", help="base settings profile"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base global random seed")
+    parser.add_argument(
+        "--workers",
+        type=_workers_arg,
+        default=0,
+        help="persistent worker-pool size shared by all queries (0 = in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None, help="pipeline artifact cache location"
+    )
+    parser.add_argument(
+        "--cache-max-bytes",
+        type=_positive_int,
+        default=None,
+        help="LRU size cap on the artifact cache (least-recently-hit entries "
+        "are evicted after each run; in-flight queries pin theirs)",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=16,
+        help="bounded queue: cold queries waiting to execute before 429s start",
+    )
+    parser.add_argument(
+        "--max-tasks-per-query",
+        type=_positive_int,
+        default=None,
+        help="reject a query that would execute more task bodies than this",
+    )
+    parser.add_argument(
+        "--max-inflight-tasks",
+        type=_positive_int,
+        default=None,
+        help="global cap on task bodies across all executing queries",
+    )
+    parser.add_argument(
+        "--max-estimated-seconds",
+        type=float,
+        default=None,
+        help="reject a query whose sidecar-estimated cost exceeds this",
+    )
+    arguments = parser.parse_args(argv)
+
+    overrides: dict[str, object] = {"seed": arguments.seed}
+    if arguments.cache_max_bytes is not None:
+        overrides["cache_max_bytes"] = arguments.cache_max_bytes
+    settings_factory = (
+        ExperimentSettings.full if arguments.profile == "full" else ExperimentSettings.fast
+    )
+    config = ServiceConfig(
+        host=arguments.host,
+        port=arguments.port,
+        settings=settings_factory(**overrides),
+        cache_dir=arguments.cache_dir,
+        workers=arguments.workers,
+        admission=AdmissionPolicy(
+            max_pending=arguments.max_pending,
+            max_tasks_per_query=arguments.max_tasks_per_query,
+            max_inflight_tasks=arguments.max_inflight_tasks,
+            max_estimated_seconds=arguments.max_estimated_seconds,
+        ),
+    )
+    try:
+        asyncio.run(run_service(config))
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    return 0
+
+
+def _parse_override(text: str) -> tuple[str, object]:
+    """``name=value`` with the value parsed as JSON (bare words stay strings)."""
+    name, separator, raw = text.partition("=")
+    if not separator or not name:
+        raise argparse.ArgumentTypeError(f"expected NAME=VALUE, got {text!r}")
+    try:
+        value: object = json.loads(raw)
+    except ValueError:
+        value = raw
+    return name, value
+
+
+def _query_main(argv: Sequence[str]) -> int:
+    """``runner query``: run experiments through a running service."""
+    from repro.service import ServiceClient, ServiceError
+
+    parser = argparse.ArgumentParser(
+        prog="runner query", description="Query a running aging-analysis service."
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="service address")
+    parser.add_argument("--port", type=int, required=True, help="service port")
+    parser.add_argument(
+        "--experiments",
+        nargs="+",
+        required=True,
+        help="experiments to request (dependencies resolve server-side)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override the seed")
+    parser.add_argument(
+        "--override",
+        action="append",
+        type=_parse_override,
+        default=[],
+        metavar="NAME=VALUE",
+        help="settings override (VALUE parsed as JSON); repeatable",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write each returned artifact verbatim to <output>/<name>.json "
+        "(byte-identical to the offline runner's files)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-task progress events"
+    )
+    arguments = parser.parse_args(argv)
+
+    overrides = dict(arguments.override)
+    if arguments.seed is not None:
+        overrides["seed"] = arguments.seed
+
+    def on_event(event: dict) -> None:
+        kind = event.get("event")
+        if kind == "accepted":
+            mode = (
+                "coalesced" if event.get("coalesced")
+                else "warm" if event.get("warm")
+                else "cold"
+            )
+            print(
+                f"accepted ({mode}): {event.get('tasks_to_execute', 0)} task(s) "
+                f"to execute, {event.get('cache_hits_planned', 0)} cache hit(s) planned",
+                flush=True,
+            )
+        elif kind == "task" and not arguments.quiet:
+            print(
+                f"task {event['name']}: {event['action']} ({event['where']}, "
+                f"{event.get('duration_s', 0.0):.2f}s)",
+                flush=True,
+            )
+
+    try:
+        with ServiceClient(arguments.host, arguments.port) as client:
+            result = client.query(
+                arguments.experiments, overrides, on_event=on_event
+            )
+    except ServiceError as error:
+        print(f"query rejected: {error}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as error:
+        print(f"cannot reach service: {error}", file=sys.stderr)
+        return 1
+
+    artifacts = result.get("artifacts", {})
+    if arguments.output is not None:
+        arguments.output.mkdir(parents=True, exist_ok=True)
+        for name, text in artifacts.items():
+            (arguments.output / f"{name}.json").write_text(text, encoding="utf-8")
+    for name in arguments.experiments:
+        text = artifacts.get(name)
+        if text is None:
+            continue
+        result_obj = ExperimentResult.from_dict(json.loads(text))
+        print(result_obj.to_table())
+        print()
+    print(
+        "query complete ({} artifact(s){})".format(
+            len(artifacts),
+            f", written to {arguments.output}" if arguments.output is not None else "",
+        )
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Subcommand dispatch by peeking at the first token keeps every legacy
+    # flag invocation working unchanged (argparse subparsers would not).
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
+    if argv and argv[0] == "query":
+        return _query_main(argv[1:])
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--experiments",
@@ -182,6 +384,23 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=None,
         help="cache location for trained models and pipeline artifacts "
         "(default: REPRO_CACHE_DIR or ~/.cache/repro-aging-npu)",
+    )
+    parser.add_argument(
+        "--cache-max-bytes",
+        type=_positive_int,
+        default=None,
+        help="LRU size cap on the pipeline artifact cache: after the run, "
+        "least-recently-hit artifacts are evicted until the cache fits "
+        "(results are unaffected; evicted entries just rebuild on demand)",
+    )
+    parser.add_argument(
+        "--append-history",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="record the run with observability enabled and append one JSONL "
+        "row (commit, timestamp, events/s, lanes/s, cache hit ratio, "
+        "per-task durations) to FILE for longitudinal regression tracking",
     )
     parser.add_argument(
         "--explain",
@@ -268,6 +487,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     if arguments.cache_dir is not None:
         overrides["cache_dir"] = arguments.cache_dir
+    if arguments.cache_max_bytes is not None:
+        overrides["cache_max_bytes"] = arguments.cache_max_bytes
     if arguments.lanes is not None:
         overrides["sim_batch_size"] = arguments.lanes
     if arguments.years is not None:
@@ -292,6 +513,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         arguments.trace is not None
         or arguments.metrics is not None
         or arguments.metrics_report
+        or arguments.append_history is not None
     )
     if observe:
         import repro.observability as observability
@@ -319,6 +541,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             # Observed runs with an output directory always leave a sidecar
             # next to the result JSONs, so dashboards can scrape them later.
             write_metrics_sidecar(Path(arguments.output) / "run.metrics.json", run)
+        if arguments.append_history is not None:
+            from repro.observability.export import metrics_sidecar
+            from repro.observability.history import append_history
+
+            row = append_history(arguments.append_history, metrics_sidecar(run))
+            print(
+                f"history row appended to {arguments.append_history} "
+                f"(commit {row['commit'] or 'unknown'})"
+            )
     return 0
 
 

@@ -40,6 +40,11 @@ class ExperimentSettings:
     seed: int = 0
     cache_dir: "str | Path | None" = None
     pipeline_cache: bool = True
+    # Optional LRU size cap (bytes) on the pipeline artifact cache: after a
+    # run, least-recently-hit artifacts are evicted until the cache fits.
+    # Never part of any task's declared settings fields — cached results are
+    # bit-identical whether or not older artifacts were evicted.
+    cache_max_bytes: "int | None" = None
 
     # Parallel execution (repro.parallel + repro.pipeline).  ``workers=0``
     # runs everything serially in-process; ``N > 0`` lets the experiment

@@ -55,6 +55,7 @@ __all__ = [
     "add",
     "collecting",
     "disable",
+    "drain_spans",
     "enable",
     "enabled",
     "gauge",
@@ -160,6 +161,22 @@ def merge_snapshot(other: ObservabilitySnapshot) -> None:
     """Fold a shipped-back snapshot into this process's registry and tracer."""
     _STATE.registry.merge(other.metrics)
     _STATE.tracer.spans.extend(other.spans)
+
+
+def drain_spans() -> list[Span]:
+    """Remove and return every completed span recorded so far.
+
+    Metrics are cheap to keep forever (they aggregate in place), but spans
+    accumulate one record per task/sweep/shard: a long-lived process that
+    merges run snapshots back — the query server answering thousands of
+    pipeline runs — must periodically drain them or grow without bound.
+    Spans still open (inside a ``with span(...)`` block) are unaffected;
+    they are appended on exit as usual.
+    """
+    spans = _STATE.tracer.spans
+    drained = list(spans)
+    spans.clear()
+    return drained
 
 
 @contextmanager

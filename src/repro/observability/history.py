@@ -1,0 +1,144 @@
+"""Longitudinal metrics history: one JSONL row per observed pipeline run.
+
+The runner leaves a machine-readable ``run.metrics.json`` sidecar next to
+every observed run's result JSONs (see
+:func:`repro.observability.export.metrics_sidecar`).  This module flattens
+one sidecar into a single compact JSONL row — commit, timestamp, derived
+throughput rates (events/s, lanes/s), cache hit ratio, and per-task
+durations — and appends it to a history file (``--append-history``).  Rows
+accumulate across commits into exactly the trend line the ROADMAP's
+longitudinal-tracking item asks for: benchmark assertions stay the hard
+floor, the history file shows the drift between them.
+
+Rows are self-describing (``schema`` field) and append-only; readers must
+tolerate unknown keys so the row shape can grow.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+#: History row schema version (bump on breaking shape changes).
+HISTORY_SCHEMA_VERSION = 1
+
+
+def current_commit() -> "str | None":
+    """Best-effort identifier of the code under test.
+
+    ``REPRO_COMMIT`` (set by CI) wins over asking git; returns None when
+    neither is available — history rows are telemetry and must never fail a
+    run over a missing commit id.
+    """
+    env = os.environ.get("REPRO_COMMIT")
+    if env:
+        return env
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def _wall_seconds(sidecar: Mapping[str, Any]) -> float:
+    spans = (sidecar.get("observability") or {}).get("spans") or []
+    for span in spans:
+        if span.get("name") == "pipeline:run":
+            return float(span.get("duration_s") or 0.0)
+    return sum(
+        float(span.get("duration_s") or 0.0)
+        for span in spans
+        if span.get("parent_id") is None
+    )
+
+
+def history_row(
+    sidecar: Mapping[str, Any],
+    *,
+    commit: "str | None" = None,
+    timestamp: "float | None" = None,
+) -> dict[str, Any]:
+    """Flatten one ``run.metrics.json`` sidecar into a history row.
+
+    Rates divide the run's counters by the ``pipeline:run`` span's wall
+    time; both are None when the run was not observed (no snapshot) or the
+    wall time is zero.
+    """
+    tasks = sidecar.get("tasks") or {}
+    executed = {n: t for n, t in tasks.items() if t.get("action") == "executed"}
+    hits = {n: t for n, t in tasks.items() if t.get("action") == "hit"}
+    probed = len(executed) + len(hits)
+    counters = ((sidecar.get("observability") or {}).get("metrics") or {}).get(
+        "counters"
+    ) or {}
+    wall_s = _wall_seconds(sidecar)
+    events = counters.get("sim.events.popped", 0)
+    lanes = counters.get("sim.lanes", 0)
+    return {
+        "schema": HISTORY_SCHEMA_VERSION,
+        "commit": commit if commit is not None else current_commit(),
+        "timestamp": time.time() if timestamp is None else timestamp,
+        "requested": list(sidecar.get("requested") or []),
+        "wall_s": wall_s,
+        "tasks_executed": len(executed),
+        "tasks_hit": len(hits),
+        "cache_hit_ratio": (len(hits) / probed) if probed else None,
+        "events": events,
+        "events_per_s": (events / wall_s) if events and wall_s > 0 else None,
+        "lanes": lanes,
+        "lanes_per_s": (lanes / wall_s) if lanes and wall_s > 0 else None,
+        "task_durations_s": {
+            name: float(task.get("duration_s") or 0.0)
+            for name, task in sorted(tasks.items())
+            if task.get("action") in ("executed", "hit")
+        },
+    }
+
+
+def append_history(
+    path: "str | Path",
+    sidecar: Mapping[str, Any],
+    *,
+    commit: "str | None" = None,
+    timestamp: "float | None" = None,
+) -> dict[str, Any]:
+    """Append one sidecar's history row to the JSONL file; returns the row.
+
+    The parent directory is created if needed.  Appends are line-atomic on
+    POSIX for rows this small, so concurrent CI jobs may share one file.
+    """
+    row = history_row(sidecar, commit=commit, timestamp=timestamp)
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(row, sort_keys=True) + "\n")
+    return row
+
+
+def read_history(path: "str | Path") -> list[dict[str, Any]]:
+    """All rows of a history file (skipping blank/corrupt lines)."""
+    rows: list[dict[str, Any]] = []
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError:
+        return rows
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rows.append(json.loads(line))
+        except ValueError:
+            continue
+    return rows

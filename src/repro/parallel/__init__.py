@@ -14,7 +14,10 @@ parallel.  This package provides the shared machinery the sweep front-ends
   cannot start worker processes), plus an incremental
   :class:`~repro.parallel.executor.ExecutorSession` (submit/wait-any) that
   the dependency-aware experiment scheduler (:mod:`repro.pipeline`)
-  dispatches ready tasks on,
+  dispatches ready tasks on, and a long-lived
+  :class:`~repro.parallel.executor.WorkerPool` that keeps worker processes
+  alive across many sessions (the shape :mod:`repro.service` needs to
+  answer queries without paying pool startup per query),
 * :mod:`repro.parallel.seeding` — spawn-safe deterministic RNG built on
   :meth:`numpy.random.SeedSequence.spawn`: one independent child stream per
   work item, keyed only by the item's position in the sweep, so results are
@@ -24,6 +27,7 @@ parallel.  This package provides the shared machinery the sweep front-ends
 from repro.parallel.executor import (
     ExecutorSession,
     ParallelExecutor,
+    WorkerPool,
     resolve_workers,
     usable_cpu_count,
 )
@@ -37,6 +41,7 @@ from repro.parallel.seeding import (
 __all__ = [
     "ExecutorSession",
     "ParallelExecutor",
+    "WorkerPool",
     "resolve_workers",
     "usable_cpu_count",
     "root_seed_sequence",

@@ -18,10 +18,13 @@ results are identical.
 
 from __future__ import annotations
 
+import itertools
 import math
 import os
 import pickle
+import threading
 import warnings
+from collections import OrderedDict
 from collections.abc import Callable, Sequence
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from multiprocessing import get_context
@@ -94,6 +97,39 @@ def _run_item_observed(item: Any) -> tuple[Any, Any]:
     with observability.collecting() as snapshot:
         result = _run_item(item)
     return result, snapshot
+
+
+# Worker-side state for *shared* pools (WorkerPool): sessions come and go
+# while the worker processes live on, so each session's (task, payload) pair
+# travels per item as a pre-pickled blob tagged with a session token, and the
+# worker memoises the decoded pair by token — the decode cost is paid once
+# per (worker, session), not once per item.  The cache is bounded so a
+# long-lived service cycling through many sessions cannot grow worker memory
+# without limit.
+_POOL_SESSIONS: "OrderedDict[int, tuple[TaskFunction, Any]]" = OrderedDict()
+_POOL_SESSION_CACHE_SIZE = 4
+
+
+def _pooled_session_state(token: int, blob: bytes) -> tuple[TaskFunction, Any]:
+    state = _POOL_SESSIONS.get(token)
+    if state is None:
+        state = pickle.loads(blob)
+        _POOL_SESSIONS[token] = state
+        while len(_POOL_SESSIONS) > _POOL_SESSION_CACHE_SIZE:
+            _POOL_SESSIONS.popitem(last=False)
+    else:
+        _POOL_SESSIONS.move_to_end(token)
+    return state
+
+
+def _run_pooled_item(token: int, blob: bytes, item: Any, observed: bool) -> Any:
+    """Run one shared-pool work item (see :class:`WorkerPool`)."""
+    task, payload = _pooled_session_state(token, blob)
+    if observed:
+        with observability.collecting() as snapshot:
+            result = task(item, payload)
+        return result, snapshot
+    return task(item, payload)
 
 
 class ParallelExecutor:
@@ -257,25 +293,135 @@ class ParallelExecutor:
             return False
 
 
+class WorkerPool:
+    """A long-lived worker-process pool shared by many sessions and callers.
+
+    :meth:`ParallelExecutor.session` builds (and tears down) one process
+    pool per session, delivering the task function and payload through the
+    pool *initializer* — the right shape for one-shot sweeps, but a query
+    server that answers thousands of pipeline runs cannot pay pool startup
+    per query.  A ``WorkerPool`` keeps the worker processes alive across
+    sessions: each :meth:`session` ships its ``(task, payload)`` pair per
+    item as a pre-pickled blob tagged with a session token, and workers
+    memoise the decoded pair by token (see :func:`_run_pooled_item`).
+
+    Consequences of outliving any single session:
+
+    * the task and payload must be picklable even under ``fork`` (a running
+      pool cannot inherit new parent state); unpicklable sessions fall back
+      to serial execution with a ``RuntimeWarning``, results identical;
+    * session close never shuts the pool down — it cancels the session's
+      unstarted items and drains the running ones, so a failing query
+      leaves the pool immediately usable for the next one;
+    * :meth:`close` is idempotent and must be called (or the pool used as a
+      context manager) when the owner shuts down.
+
+    Thread-safe: sessions may be opened from any thread (the service opens
+    them from executor threads while the pool is owned by the event loop's
+    process).
+    """
+
+    def __init__(self, workers: int | None = 0, start_method: str | None = None) -> None:
+        self.workers = resolve_workers(workers)
+        self.start_method = start_method
+        self._pool: ProcessPoolExecutor | None = None
+        self._started = False
+        self._closed = False
+        self._tokens = itertools.count()
+        self._lock = threading.Lock()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _handle(self) -> ProcessPoolExecutor | None:
+        """The shared process pool, started lazily (None = run serially)."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("WorkerPool is closed")
+            if not self._started:
+                self._started = True
+                if self.workers > 0:
+                    method = self.start_method
+                    if method is None:
+                        import multiprocessing
+
+                        methods = multiprocessing.get_all_start_methods()
+                        method = "fork" if "fork" in methods else "spawn"
+                    try:
+                        self._pool = ProcessPoolExecutor(
+                            max_workers=self.workers, mp_context=get_context(method)
+                        )
+                    except (OSError, ValueError, NotImplementedError) as error:  # pragma: no cover
+                        warnings.warn(
+                            f"could not start worker pool ({error}); "
+                            "sessions will run serially",
+                            RuntimeWarning,
+                            stacklevel=3,
+                        )
+                        self._pool = None
+            return self._pool
+
+    def next_token(self) -> int:
+        return next(self._tokens)
+
+    def session(self, task: TaskFunction, payload: Any = None) -> "ExecutorSession":
+        """Open an incremental session backed by this shared pool.
+
+        Same submit/wait_any contract as :meth:`ParallelExecutor.session`;
+        closing the session leaves the pool running for the next one.
+        """
+        return ExecutorSession(None, task, payload, pool=self)
+
+    def close(self) -> None:
+        """Shut the worker processes down (idempotent, exception-safe)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
 class ExecutorSession:
     """Incremental submit/collect companion to :meth:`ParallelExecutor.map`.
 
     ``submit`` hands one work item to the pool and returns a ticket;
     ``wait_any`` blocks until *some* outstanding item finishes and returns
     ``(ticket, result)``.  In serial mode (``workers=0``, unpicklable
-    task/payload under spawn, or a pool that cannot start) items run inline
-    at ``submit`` time — same items, same results, just no overlap — so
+    task/payload, or a pool that cannot start) items run inline at
+    ``submit`` time — same items, same results, just no overlap — so
     callers never need a separate code path.
 
-    Results are whatever the items determine: the session adds no ordering
-    guarantees beyond the tickets, which is exactly right for schedulers
-    whose tasks are deterministic functions of their inputs.
+    A session is backed either by its *own* pool (built by
+    :meth:`ParallelExecutor.session`, torn down on close) or by a shared
+    :class:`WorkerPool` (left running on close).  Results are whatever the
+    items determine: the session adds no ordering guarantees beyond the
+    tickets, which is exactly right for schedulers whose tasks are
+    deterministic functions of their inputs.
     """
 
-    def __init__(self, executor: ParallelExecutor, task: TaskFunction, payload: Any = None) -> None:
+    def __init__(
+        self,
+        executor: "ParallelExecutor | None",
+        task: TaskFunction,
+        payload: Any = None,
+        *,
+        pool: "WorkerPool | None" = None,
+    ) -> None:
         self._task = task
         self._payload = payload
         self._pool: ProcessPoolExecutor | None = None
+        self._shared = pool is not None
+        self._token: int | None = None
+        self._blob: bytes | None = None
         self._futures: dict[int, Future] = {}
         self._completed: list[tuple[int, Any]] = []
         self._next_ticket = 0
@@ -284,7 +430,28 @@ class ExecutorSession:
         # in wait_any); serially executed items record into the parent's
         # registry directly, so no wrapping is needed.
         self._observed = observability.is_enabled()
-        if executor.workers > 0:
+        if pool is not None:
+            # Shared pool: workers cannot receive new state through an
+            # initializer, so the (task, payload) pair must pickle even
+            # under fork — it ships per item, memoised worker-side.
+            if pool.workers > 0:
+                if ParallelExecutor._is_picklable(task, payload):
+                    self._pool = pool._handle()
+                    if self._pool is not None:
+                        self._token = pool.next_token()
+                        self._blob = pickle.dumps(
+                            (task, payload), protocol=pickle.HIGHEST_PROTOCOL
+                        )
+                        if self._observed:
+                            ParallelExecutor._record_payload_bytes(payload)
+                else:
+                    warnings.warn(
+                        "task or payload is not picklable; "
+                        "falling back to serial execution",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+        elif executor is not None and executor.workers > 0:
             self._pool = executor._start_pool(task, payload, executor.workers)
             if self._observed and self._pool is not None:
                 ParallelExecutor._record_payload_bytes(payload)
@@ -301,6 +468,10 @@ class ExecutorSession:
         if self._pool is None:
             # Serial fallback: run now, collect via wait_any like any other.
             self._completed.append((ticket, self._task(item, self._payload)))
+        elif self._shared:
+            self._futures[ticket] = self._pool.submit(
+                _run_pooled_item, self._token, self._blob, item, self._observed
+            )
         else:
             run_item = _run_item_observed if self._observed else _run_item
             self._futures[ticket] = self._pool.submit(run_item, item)
@@ -334,9 +505,29 @@ class ExecutorSession:
         return len(self._futures) + len(self._completed)
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Release the session's pool resources (idempotent, exception-safe).
+
+        Owned pools are shut down; shared :class:`WorkerPool` handles are
+        only *drained* — unstarted items are cancelled and running ones
+        awaited — so a query that fails mid-flight leaves the pool usable
+        for the next session.  The pool handle is detached before any
+        blocking call, so a second ``close`` (e.g. ``__exit__`` after an
+        explicit close, or cleanup re-entered from an exception handler)
+        is a no-op rather than a double shutdown.
+        """
+        pool, self._pool = self._pool, None
+        futures = list(self._futures.values())
+        self._futures.clear()
+        self._completed.clear()
+        if pool is None:
+            return
+        if self._shared:
+            for future in futures:
+                future.cancel()
+            if futures:
+                wait(futures)
+        else:
+            pool.shutdown(wait=True)
 
     def __enter__(self) -> "ExecutorSession":
         return self

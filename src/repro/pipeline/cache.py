@@ -30,13 +30,15 @@ All writes are atomic, so a killed run never leaves a truncated artifact.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 import pickle
+import threading
 import time
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Iterable, Iterator, Mapping
 
 import repro.observability as observability
 from repro.experiments.reporting import ExperimentResult, _jsonify
@@ -78,17 +80,37 @@ def compute_cache_keys(graph: TaskGraph, settings: ExperimentSettings) -> dict[s
     return keys
 
 
-class ArtifactCache:
-    """Persists task artifacts under ``root`` keyed by their cache key."""
+# In-flight pin registry: ``(cache root, task dir name, key)`` → refcount.
+# Process-global (not per-ArtifactCache) because the service and the
+# scheduler construct independent ArtifactCache objects over the same root,
+# and eviction must see every pin regardless of which instance runs it.
+_PINNED: dict[tuple[str, str, str], int] = {}
+_PIN_LOCK = threading.Lock()
 
-    def __init__(self, root: "str | Path") -> None:
+
+class ArtifactCache:
+    """Persists task artifacts under ``root`` keyed by their cache key.
+
+    ``max_bytes`` (optional) turns the cache into a bounded LRU store:
+    :meth:`enforce_size_cap` evicts least-recently-hit artifacts (by the
+    ``.meta.json`` ``last_hit_at`` telemetry, falling back to ``stored_at``)
+    until the total artifact size fits.  Entries pinned by in-flight
+    queries (see :meth:`pinned`) are never evicted.
+    """
+
+    def __init__(self, root: "str | Path", max_bytes: "int | None" = None) -> None:
         self.root = Path(root)
+        self.max_bytes = max_bytes
 
     @classmethod
-    def resolve(cls, cache_dir: "str | Path | None" = None) -> "ArtifactCache":
+    def resolve(
+        cls,
+        cache_dir: "str | Path | None" = None,
+        max_bytes: "int | None" = None,
+    ) -> "ArtifactCache":
         """Cache at ``cache_dir`` (or the REPRO_CACHE_DIR / ~/.cache default)."""
         base = Path(cache_dir) if cache_dir is not None else default_cache_root()
-        return cls(base / "pipeline")
+        return cls(base / "pipeline", max_bytes=max_bytes)
 
     # ------------------------------------------------------------ locations
     def _task_dir(self, task: Task) -> Path:
@@ -193,3 +215,119 @@ class ArtifactCache:
             atomic_write_text(self.meta_path(task, key), json.dumps(meta, indent=2))
         except OSError:  # pragma: no cover - filesystem races/permissions
             pass
+
+    # -------------------------------------------------------------- pinning
+    def _pin_key(self, task_name: str, key: str) -> tuple[str, str, str]:
+        return (str(self.root), task_name.replace(":", "_"), key)
+
+    def pin(self, task_name: str, key: str) -> None:
+        """Protect one artifact from eviction (refcounted; see :meth:`unpin`)."""
+        handle = self._pin_key(task_name, key)
+        with _PIN_LOCK:
+            _PINNED[handle] = _PINNED.get(handle, 0) + 1
+
+    def unpin(self, task_name: str, key: str) -> None:
+        handle = self._pin_key(task_name, key)
+        with _PIN_LOCK:
+            count = _PINNED.get(handle, 0) - 1
+            if count > 0:
+                _PINNED[handle] = count
+            else:
+                _PINNED.pop(handle, None)
+
+    def is_pinned(self, task_dir_name: str, key: str) -> bool:
+        with _PIN_LOCK:
+            return (str(self.root), task_dir_name, key) in _PINNED
+
+    @contextlib.contextmanager
+    def pinned(self, keys: "Mapping[str, str] | Iterable[tuple[str, str]]") -> Iterator[None]:
+        """Pin a batch of ``(task name, key)`` pairs for the enclosed block.
+
+        The scheduler wraps each run in this so a concurrent query's
+        eviction pass can never remove artifacts the run is about to hit.
+        """
+        pairs = list(keys.items() if isinstance(keys, Mapping) else keys)
+        for name, key in pairs:
+            self.pin(name, key)
+        try:
+            yield
+        finally:
+            for name, key in pairs:
+                self.unpin(name, key)
+
+    # ------------------------------------------------------------- eviction
+    def entries(self) -> list[dict[str, Any]]:
+        """All cached artifacts, one record per ``.meta.json`` sidecar.
+
+        Each record carries ``task_dir``/``key``/``size_bytes`` plus the
+        recency timestamp eviction sorts by.  Artifacts whose sidecar is
+        missing or corrupt are skipped (they are invisible to eviction,
+        which errs on the side of keeping bytes).
+        """
+        records: list[dict[str, Any]] = []
+        if not self.root.is_dir():
+            return records
+        for meta_path in sorted(self.root.glob("*/*.meta.json")):
+            try:
+                meta = json.loads(meta_path.read_text())
+            except (OSError, ValueError):
+                continue
+            key = meta_path.name[: -len(".meta.json")]
+            artifact = None
+            for suffix in (".json", ".pkl"):
+                candidate = meta_path.with_name(key + suffix)
+                if candidate.exists():
+                    artifact = candidate
+                    break
+            if artifact is None:
+                continue
+            size = meta.get("size_bytes")
+            if not isinstance(size, (int, float)):
+                try:
+                    size = artifact.stat().st_size
+                except OSError:  # pragma: no cover - race with eviction
+                    continue
+            records.append(
+                {
+                    "task_dir": meta_path.parent.name,
+                    "key": key,
+                    "size_bytes": int(size),
+                    "last_used_at": float(
+                        meta.get("last_hit_at") or meta.get("stored_at") or 0.0
+                    ),
+                    "artifact_path": artifact,
+                    "meta_path": meta_path,
+                }
+            )
+        return records
+
+    def enforce_size_cap(self) -> list[tuple[str, str]]:
+        """Evict least-recently-hit artifacts until the cache fits ``max_bytes``.
+
+        Returns the evicted ``(task_dir, key)`` pairs.  Pinned entries are
+        skipped even when the cache stays over budget — correctness of
+        in-flight queries beats the size cap.  A no-op when ``max_bytes``
+        is unset.
+        """
+        if self.max_bytes is None:
+            return []
+        records = self.entries()
+        total = sum(record["size_bytes"] for record in records)
+        if total <= self.max_bytes:
+            return []
+        evicted: list[tuple[str, str]] = []
+        for record in sorted(records, key=lambda r: (r["last_used_at"], r["key"])):
+            if total <= self.max_bytes:
+                break
+            if self.is_pinned(record["task_dir"], record["key"]):
+                continue
+            for path in (record["artifact_path"], record["meta_path"]):
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - concurrent eviction
+                    pass
+            total -= record["size_bytes"]
+            evicted.append((record["task_dir"], record["key"]))
+            observability.add("pipeline.cache.evictions")
+            observability.add("pipeline.cache.bytes_evicted", record["size_bytes"])
+        return evicted

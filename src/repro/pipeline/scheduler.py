@@ -24,10 +24,11 @@ throughput choice by the ``repro.parallel`` seed-sharding contract.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 from collections.abc import Sequence
 
 import repro.observability as observability
@@ -35,7 +36,7 @@ from repro.experiments.reporting import ExperimentResult
 from repro.experiments.settings import ExperimentSettings
 from repro.experiments.workspace import ExperimentWorkspace
 from repro.observability import ObservabilitySnapshot
-from repro.parallel import ParallelExecutor, resolve_workers
+from repro.parallel import ParallelExecutor, WorkerPool, resolve_workers
 from repro.pipeline.cache import ArtifactCache, compute_cache_keys
 from repro.pipeline.graph import TaskGraph
 from repro.pipeline.registry import build_experiment_graph
@@ -231,6 +232,8 @@ def run_pipeline(
     cache_dir: "str | Path | None" = None,
     output_dir: "str | Path | None" = None,
     executor: ParallelExecutor | None = None,
+    pool: "WorkerPool | None" = None,
+    on_task: "Callable[[TaskRecord], None] | None" = None,
 ) -> PipelineRun:
     """Run the named experiments through the dependency-aware pipeline.
 
@@ -248,6 +251,16 @@ def run_pipeline(
             hit), so a crash later in the run loses no completed work.
         executor: override the dispatch executor (defaults to one built from
             ``settings.workers``).
+        pool: dispatch heavy tasks on this persistent
+            :class:`~repro.parallel.executor.WorkerPool` instead of a
+            per-invocation pool — the re-entrant shape :mod:`repro.service`
+            uses so many queries share one set of worker processes.  The
+            pool's worker count then decides whether tasks overlap
+            (``settings.workers`` still controls worker-side inner sweeps).
+        on_task: called with each task's :class:`TaskRecord` the moment the
+            task resolves (cache hit or body completion) — the streaming
+            hook service clients receive progress events through.  Must not
+            mutate the record; exceptions propagate and abort the run.
 
     Returns:
         A :class:`PipelineRun` with the results and the per-task records.
@@ -264,6 +277,8 @@ def run_pipeline(
             cache_dir=cache_dir,
             output_dir=output_dir,
             executor=executor,
+            pool=pool,
+            on_task=on_task,
         )
     # Give the run its own collection scope so ``run.observability`` holds
     # exactly this invocation's telemetry; fold it back into the process
@@ -279,6 +294,8 @@ def run_pipeline(
                 cache_dir=cache_dir,
                 output_dir=output_dir,
                 executor=executor,
+                pool=pool,
+                on_task=on_task,
             )
     observability.merge_snapshot(run_snapshot)
     run.observability = run_snapshot
@@ -293,6 +310,8 @@ def _run_pipeline(
     cache_dir: "str | Path | None" = None,
     output_dir: "str | Path | None" = None,
     executor: ParallelExecutor | None = None,
+    pool: "WorkerPool | None" = None,
+    on_task: "Callable[[TaskRecord], None] | None" = None,
 ) -> PipelineRun:
     settings = settings or ExperimentSettings.fast()
     graph = build_experiment_graph(settings)
@@ -305,7 +324,8 @@ def _run_pipeline(
     keys = compute_cache_keys(graph, settings)
     use_cache = settings.pipeline_cache if cache is None else cache
     artifact_cache = ArtifactCache.resolve(
-        cache_dir if cache_dir is not None else settings.cache_dir
+        cache_dir if cache_dir is not None else settings.cache_dir,
+        max_bytes=settings.cache_max_bytes,
     ) if use_cache else None
 
     order = graph.topological_order(requested)
@@ -353,6 +373,8 @@ def _run_pipeline(
         record.duration_s = time.perf_counter() - start
         observability.add("pipeline.tasks.hit")
         _save_output(task)
+        if on_task is not None:
+            on_task(record)
 
     def _finish(
         task: Task,
@@ -386,103 +408,137 @@ def _run_pipeline(
             )
             record.stored = True
         _save_output(task)
+        if on_task is not None:
+            on_task(record)
 
-    for task in order:
-        if task.name in needed and hit[task.name]:
-            _load(task)
-
-    exec_order = [task for task in order if executes[task.name]]
-    heavy_exec = [task for task in exec_order if task.heavy]
-    workers = resolve_workers(settings.workers)
-    # One worker cannot overlap anything: stay inline so the task's inner
-    # sweeps keep the workers knob (the pre-pipeline behaviour).
-    overlap = (
-        workers > 1
-        and len(heavy_exec) > 1
-        and not _is_chain(heavy_exec, {task.name for task in heavy_exec})
+    # Pin every artifact this run reads or writes for the duration of the
+    # run: with a size-capped cache and concurrent queries (service mode),
+    # another run's eviction pass must never remove entries between this
+    # run's cache probe and its loads/stores.  Eviction happens afterwards.
+    pin_guard = (
+        artifact_cache.pinned(
+            [
+                (task.name, keys[task.name])
+                for task in order
+                if task.name in needed and task.cacheable
+            ]
+        )
+        if artifact_cache is not None
+        else contextlib.nullcontext()
     )
+    with pin_guard:
+        for task in order:
+            if task.name in needed and hit[task.name]:
+                _load(task)
 
-    if not overlap:
-        # Sequential path: one shared workspace, original settings — inner
-        # sweeps keep their workers, exactly like the PR 3 runner.
-        shared = ExperimentWorkspace.create(settings)
-        shared.adopt(artifacts)
-        for task in exec_order:
-            context = TaskContext(
-                settings,
-                {dep: artifacts[dep] for dep in task.depends},
-                workspace=shared,
-            )
-            start = time.perf_counter()
-            with observability.span(
-                f"task:{task.name}", category="task", where="inline", action="executed"
-            ):
-                value = task.run(context)
-            _finish(task, value, "inline", start)
-    else:
-        # Light tasks first, inline (they are closed under dependencies by
-        # the light-before-heavy layering rule)...
-        shared = ExperimentWorkspace.create(settings)
-        shared.adopt(artifacts)
-        for task in exec_order:
-            if task.heavy:
-                continue
-            context = TaskContext(
-                settings,
-                {dep: artifacts[dep] for dep in task.depends},
-                workspace=shared,
-            )
-            start = time.perf_counter()
-            with observability.span(
-                f"task:{task.name}", category="task", where="inline", action="executed"
-            ):
-                value = task.run(context)
-            _finish(task, value, "inline", start)
-        # ... then dispatch heavy tasks as their dependencies complete.  The
-        # session payload ships everything known now once per worker; later
-        # artifacts ride along with the items that need them.  Worker-side
-        # sweeps run serially (pure throughput choice; results identical).
-        worker_settings = settings.with_overrides(workers=0)
-        heavy_deps = {dep for task in heavy_exec for dep in task.depends}
-        base_artifacts = {
-            name: value for name, value in artifacts.items() if name in heavy_deps
-        }
-        executor = executor or ParallelExecutor(workers=settings.workers)
-        tickets: dict[int, tuple[Task, float, float]] = {}
-        pending = {task.name: task for task in heavy_exec}
-        dispatched: set[str] = set()
-        with executor.session(_execute_work_item, (worker_settings, base_artifacts)) as session:
-            where = "worker" if session.parallel else "inline"
-            while pending:
-                for name in list(pending):
-                    task = pending[name]
-                    if name in dispatched or any(dep not in artifacts for dep in task.depends):
-                        continue
-                    extra = {
-                        dep: artifacts[dep]
-                        for dep in task.depends
-                        if dep not in base_artifacts
-                    }
-                    tickets[session.submit((name, extra))] = (
-                        task,
-                        time.perf_counter(),
-                        time.time(),
-                    )
-                    dispatched.add(name)
-                ticket, payload_value = session.wait_any()
-                value, started_wall, body_duration = payload_value
-                task, start, submit_wall = tickets.pop(ticket)
-                del pending[task.name]
-                queue_wait = max(0.0, started_wall - submit_wall)
-                _finish(
-                    task,
-                    value,
-                    where,
-                    start,
-                    duration_s=body_duration,
-                    queue_wait_s=queue_wait,
+        exec_order = [task for task in order if executes[task.name]]
+        heavy_exec = [task for task in exec_order if task.heavy]
+        # With a persistent pool, its size decides overlap (settings.workers
+        # still steers worker-side inner sweeps via worker_settings below).
+        workers = pool.workers if pool is not None else resolve_workers(settings.workers)
+        # One worker cannot overlap anything: stay inline so the task's inner
+        # sweeps keep the workers knob (the pre-pipeline behaviour).
+        overlap = (
+            workers > 1
+            and len(heavy_exec) > 1
+            and not _is_chain(heavy_exec, {task.name for task in heavy_exec})
+        )
+
+        if not overlap:
+            # Sequential path: one shared workspace, original settings — inner
+            # sweeps keep their workers, exactly like the PR 3 runner.
+            shared = ExperimentWorkspace.create(settings)
+            shared.adopt(artifacts)
+            for task in exec_order:
+                context = TaskContext(
+                    settings,
+                    {dep: artifacts[dep] for dep in task.depends},
+                    workspace=shared,
                 )
+                start = time.perf_counter()
+                with observability.span(
+                    f"task:{task.name}", category="task", where="inline", action="executed"
+                ):
+                    value = task.run(context)
+                _finish(task, value, "inline", start)
+        else:
+            # Light tasks first, inline (they are closed under dependencies by
+            # the light-before-heavy layering rule)...
+            shared = ExperimentWorkspace.create(settings)
+            shared.adopt(artifacts)
+            for task in exec_order:
+                if task.heavy:
+                    continue
+                context = TaskContext(
+                    settings,
+                    {dep: artifacts[dep] for dep in task.depends},
+                    workspace=shared,
+                )
+                start = time.perf_counter()
+                with observability.span(
+                    f"task:{task.name}", category="task", where="inline", action="executed"
+                ):
+                    value = task.run(context)
+                _finish(task, value, "inline", start)
+            # ... then dispatch heavy tasks as their dependencies complete.
+            # With a per-invocation pool the session payload ships once per
+            # worker through the pool initializer; on a persistent pool it
+            # rides each item (memoised worker-side).  Later artifacts ride
+            # along with the items that need them.  Worker-side sweeps run
+            # serially (pure throughput choice; results identical).
+            worker_settings = settings.with_overrides(workers=0)
+            heavy_deps = {dep for task in heavy_exec for dep in task.depends}
+            base_artifacts = {
+                name: value for name, value in artifacts.items() if name in heavy_deps
+            }
+            if pool is not None:
+                session_cm = pool.session(
+                    _execute_work_item, (worker_settings, base_artifacts)
+                )
+            else:
+                executor = executor or ParallelExecutor(workers=settings.workers)
+                session_cm = executor.session(
+                    _execute_work_item, (worker_settings, base_artifacts)
+                )
+            tickets: dict[int, tuple[Task, float, float]] = {}
+            pending = {task.name: task for task in heavy_exec}
+            dispatched: set[str] = set()
+            with session_cm as session:
+                where = "worker" if session.parallel else "inline"
+                while pending:
+                    for name in list(pending):
+                        task = pending[name]
+                        if name in dispatched or any(
+                            dep not in artifacts for dep in task.depends
+                        ):
+                            continue
+                        extra = {
+                            dep: artifacts[dep]
+                            for dep in task.depends
+                            if dep not in base_artifacts
+                        }
+                        tickets[session.submit((name, extra))] = (
+                            task,
+                            time.perf_counter(),
+                            time.time(),
+                        )
+                        dispatched.add(name)
+                    ticket, payload_value = session.wait_any()
+                    value, started_wall, body_duration = payload_value
+                    task, start, submit_wall = tickets.pop(ticket)
+                    del pending[task.name]
+                    queue_wait = max(0.0, started_wall - submit_wall)
+                    _finish(
+                        task,
+                        value,
+                        where,
+                        start,
+                        duration_s=body_duration,
+                        queue_wait_s=queue_wait,
+                    )
 
+    if artifact_cache is not None:
+        artifact_cache.enforce_size_cap()
     results = {name: artifacts[name] for name in requested}
     return PipelineRun(
         requested=requested,

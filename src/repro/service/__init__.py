@@ -1,0 +1,60 @@
+"""Aging-analysis-as-a-service: the long-lived query front-end.
+
+The paper's device-to-system flow (netlist → aged timing → guardband /
+compression plan) is a query an accelerator design team issues thousands
+of times with varying (scenario, quantization, corner) points.  This
+package serves that workload over the demand-driven pipeline (PR 4) and
+its content-addressed artifact cache:
+
+* :mod:`repro.service.protocol` — newline-delimited JSON over TCP;
+* :mod:`repro.service.admission` — bounded queue, per-query budgets,
+  in-flight task caps, sidecar-driven cost estimates;
+* :mod:`repro.service.server` — the asyncio server: plans queries up
+  front from artifact keys, coalesces identical in-flight queries, serves
+  warm ones from cache, streams per-task events, and executes over one
+  persistent :class:`~repro.parallel.executor.WorkerPool`;
+* :mod:`repro.service.client` — the blocking client the runner CLI uses;
+* :mod:`repro.service.threaded` — background-thread harness for tests.
+
+Results are byte-identical to the offline runner for cold, warm, and
+coalesced queries — see :mod:`repro.service.server` for the contract.
+"""
+
+from repro.service.admission import (
+    AdmissionDecision,
+    AdmissionPolicy,
+    estimate_query_seconds,
+)
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.protocol import (
+    BAD_REQUEST,
+    OVERLOADED,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    coalesce_key,
+)
+from repro.service.server import (
+    AgingAnalysisService,
+    QueryPlan,
+    ServiceConfig,
+    run_service,
+)
+from repro.service.threaded import ServiceThread
+
+__all__ = [
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "AgingAnalysisService",
+    "BAD_REQUEST",
+    "OVERLOADED",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "QueryPlan",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceThread",
+    "coalesce_key",
+    "estimate_query_seconds",
+    "run_service",
+]

@@ -1,0 +1,126 @@
+"""Admission control for the aging-analysis query service.
+
+The service must stay responsive under overload: rather than queueing
+unboundedly, it rejects work it cannot absorb with an explicit 429-style
+event the client can retry on.  Four independent limits, all optional:
+
+* ``max_pending`` — bounded queue: queries admitted but not yet executing
+  (warm queries never queue, so this only gates cold work);
+* ``max_tasks_per_query`` — per-query budget on task bodies a single query
+  may trigger (a portfolio-sized scenario sweep cannot starve everyone);
+* ``max_inflight_tasks`` — global cap on task bodies across all executing
+  queries (heavy-task backpressure);
+* ``max_estimated_seconds`` — per-query cost ceiling, estimated from the
+  per-task duration telemetry the artifact cache's ``.meta.json`` sidecars
+  accumulated in prior runs (PR 9).  Tasks never seen before cost
+  ``default_task_seconds``.
+
+Decisions are advisory facts (:class:`AdmissionDecision`): the server turns
+them into ``rejected`` events, and tests assert on the reason strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pipeline.cache import ArtifactCache
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    admitted: bool
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Limits one service instance enforces at query admission time."""
+
+    max_pending: "int | None" = 16
+    max_tasks_per_query: "int | None" = None
+    max_inflight_tasks: "int | None" = None
+    max_estimated_seconds: "float | None" = None
+    default_task_seconds: float = 5.0
+
+    def admit(
+        self,
+        *,
+        tasks_to_execute: int,
+        estimated_seconds: float,
+        pending: int,
+        inflight_tasks: int,
+    ) -> AdmissionDecision:
+        """Decide one cold query given current load (warm queries bypass this)."""
+        if self.max_pending is not None and pending >= self.max_pending:
+            return AdmissionDecision(
+                False, f"queue full ({pending} pending >= max_pending={self.max_pending})"
+            )
+        if (
+            self.max_tasks_per_query is not None
+            and tasks_to_execute > self.max_tasks_per_query
+        ):
+            return AdmissionDecision(
+                False,
+                f"query needs {tasks_to_execute} task executions "
+                f"> max_tasks_per_query={self.max_tasks_per_query}",
+            )
+        if (
+            self.max_inflight_tasks is not None
+            and inflight_tasks + tasks_to_execute > self.max_inflight_tasks
+        ):
+            return AdmissionDecision(
+                False,
+                f"{inflight_tasks} tasks in flight + {tasks_to_execute} requested "
+                f"> max_inflight_tasks={self.max_inflight_tasks}",
+            )
+        if (
+            self.max_estimated_seconds is not None
+            and estimated_seconds > self.max_estimated_seconds
+        ):
+            return AdmissionDecision(
+                False,
+                f"estimated {estimated_seconds:.1f}s "
+                f"> max_estimated_seconds={self.max_estimated_seconds:.1f}s",
+            )
+        return AdmissionDecision(True)
+
+
+def estimate_query_seconds(
+    cache: "ArtifactCache | None",
+    to_execute: "list[str]",
+    keys: Mapping[str, str],
+    *,
+    default_task_seconds: float = 5.0,
+) -> float:
+    """Estimated serial cost of a query's to-execute tasks.
+
+    A task whose exact artifact was ever built before has its true cost in
+    that artifact's sidecar — but a to-execute task by definition has no
+    artifact for its *current* key, so this looks up the timing of any
+    prior sidecar for the same task name (same body, different inputs:
+    the best unbiased estimate available without a model).
+    """
+    if cache is None:
+        return default_task_seconds * len(to_execute)
+    total = 0.0
+    for name in to_execute:
+        estimate = default_task_seconds
+        task_dir = cache.root / name.replace(":", "_")
+        best_mtime = -1.0
+        if task_dir.is_dir():
+            for meta_path in task_dir.glob("*.meta.json"):
+                try:
+                    mtime = meta_path.stat().st_mtime
+                except OSError:  # pragma: no cover - eviction race
+                    continue
+                if mtime <= best_mtime:
+                    continue
+                meta = cache.read_meta(name, meta_path.name[: -len(".meta.json")])
+                timing = (meta or {}).get("timing") or {}
+                if "duration_s" in timing:
+                    best_mtime = mtime
+                    estimate = float(timing["duration_s"])
+        total += estimate
+    return total

@@ -1,0 +1,110 @@
+"""Wire protocol of the aging-analysis query service.
+
+Newline-delimited JSON over a TCP stream, one JSON object per line —
+trivially scriptable (``nc`` + ``jq`` are a complete client) and free of
+any dependency beyond the stdlib.
+
+Requests (client → server), selected by ``op``::
+
+    {"op": "query", "experiments": ["fig1a"], "overrides": {"seed": 1}}
+    {"op": "ping"}
+    {"op": "stats"}
+    {"op": "shutdown"}
+
+``overrides`` maps :class:`~repro.experiments.settings.ExperimentSettings`
+field names to values and is applied over the server's base settings via
+``with_overrides`` — unknown fields are a protocol error.
+
+Responses (server → client) are events, selected by ``event``:
+
+* ``accepted`` — the query was admitted; carries the coalesce key, whether
+  it joined an in-flight execution (``coalesced``), whether it is warm
+  (``tasks_to_execute == 0``), and the per-task plan summary.
+* ``rejected`` — admission control refused the query (``code`` 429) or the
+  request was malformed (``code`` 400); terminal.
+* ``task`` — one task resolved (cache hit or body completed); streamed in
+  completion order while the query runs.
+* ``result`` — terminal success.  ``artifacts`` maps each requested
+  experiment to the **exact JSON text** the offline runner would have
+  written for it, so writing the string verbatim to ``<name>.json``
+  reproduces the offline output byte for byte.
+* ``error`` — terminal failure with a message.
+
+Every event echoes the client-chosen ``id`` when the request carried one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping
+
+#: Protocol schema version, echoed in ``hello``/``accepted`` events.
+PROTOCOL_VERSION = 1
+
+#: One request or event line may not exceed this (guards the stream reader;
+#: result events carry whole experiment JSONs, so the bound is generous).
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+#: Rejection codes (HTTP-flavoured so they read familiarly in logs).
+BAD_REQUEST = 400
+OVERLOADED = 429
+
+
+class ProtocolError(ValueError):
+    """A malformed request line (not valid JSON, wrong shape, unknown op)."""
+
+
+def encode(message: Mapping[str, Any]) -> bytes:
+    """One wire line for ``message`` (compact JSON + newline)."""
+    return (json.dumps(message, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode(line: "bytes | str") -> dict[str, Any]:
+    """Parse one wire line into a message dict.
+
+    Raises :class:`ProtocolError` on anything that is not a JSON object.
+    """
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty request line")
+    try:
+        message = json.loads(line)
+    except ValueError as error:
+        raise ProtocolError(f"request is not valid JSON: {error}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("request must be a JSON object")
+    return message
+
+
+def parse_query(message: Mapping[str, Any]) -> tuple[list[str], dict[str, Any]]:
+    """Validate a ``query`` request's shape; returns (experiments, overrides)."""
+    experiments = message.get("experiments")
+    if (
+        not isinstance(experiments, list)
+        or not experiments
+        or not all(isinstance(name, str) for name in experiments)
+    ):
+        raise ProtocolError("'experiments' must be a non-empty list of names")
+    overrides = message.get("overrides", {})
+    if not isinstance(overrides, dict) or not all(
+        isinstance(key, str) for key in overrides
+    ):
+        raise ProtocolError("'overrides' must be an object of settings fields")
+    return list(experiments), dict(overrides)
+
+
+def coalesce_key(requested: "list[str] | tuple[str, ...]", keys: Mapping[str, str]) -> str:
+    """Identity of a query for in-flight coalescing.
+
+    Two queries coalesce exactly when they request the same experiment set
+    and every requested experiment has the same artifact cache key — i.e.
+    the full upstream input closure matches, by the cache-key construction.
+    Request order is irrelevant (the result event carries per-name texts).
+    """
+    payload = json.dumps(
+        sorted((name, keys[name]) for name in set(requested)), sort_keys=True
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

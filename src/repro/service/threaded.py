@@ -1,0 +1,78 @@
+"""Run a service on a background thread (tests and embedded use).
+
+The asyncio server wants to own an event loop; tests and notebook-style
+callers want a plain object with ``start()`` / ``stop()``.  A
+:class:`ServiceThread` runs the event loop on a daemon thread, hands back
+the bound ``(host, port)`` once the socket is listening, and tears the
+loop down cleanly on ``stop()`` — also triggered when a client sends the
+``shutdown`` op.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.service.server import AgingAnalysisService, ServiceConfig
+
+
+class ServiceThread:
+    """Owns one event loop + service on a background thread."""
+
+    def __init__(self, config: "ServiceConfig | None" = None) -> None:
+        self.config = config or ServiceConfig()
+        self.service: "AgingAnalysisService | None" = None
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._thread: "threading.Thread | None" = None
+        self._ready = threading.Event()
+        self._address: "tuple[str, int] | None" = None
+        self._startup_error: "BaseException | None" = None
+
+    def start(self, timeout: float = 30.0) -> tuple[str, int]:
+        """Start serving; blocks until the socket listens, returns (host, port)."""
+        if self._thread is not None:
+            raise RuntimeError("ServiceThread already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise TimeoutError("service did not start in time")
+        if self._startup_error is not None:
+            raise RuntimeError("service failed to start") from self._startup_error
+        assert self._address is not None
+        return self._address
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Request shutdown and join the thread (idempotent)."""
+        loop, service = self._loop, self.service
+        if loop is not None and service is not None and loop.is_running():
+            loop.call_soon_threadsafe(service._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    def _run(self) -> None:
+        asyncio.run(self._amain())
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.service = AgingAnalysisService(self.config)
+        try:
+            self._address = await self.service.start()
+        except BaseException as error:  # pragma: no cover - bind failures
+            self._startup_error = error
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            await self.service.wait_stopped()
+        finally:
+            await self.service.close()
+
+    def __enter__(self) -> "ServiceThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
